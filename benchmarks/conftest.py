@@ -1,0 +1,24 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation figures at a
+reduced data volume (bandwidths are volume-normalized, so the scheme
+ordering — the reproduction target — is unaffected), asserts the
+paper's qualitative shape, and prints the reproduced rows so a
+``pytest benchmarks/ --benchmark-only -s`` run doubles as the
+EXPERIMENTS.md data source.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,31 @@
+"""Ablation — adaptive vs. average RSSD search bounds (§III-F).
+
+MHA's adaptive bound policy is one of its two deltas over HARL.  Run
+the full MHA pipeline with each policy on a workload whose r_max sits
+well past the average (Cholesky-like skew): adaptive must not lose.
+"""
+
+from repro.cluster import ClusterSpec
+from repro.harness.experiment import run_scheme
+from repro.units import MiB
+from repro.workloads import CholeskyWorkload
+
+
+def test_bound_policy_ablation(once):
+    spec = ClusterSpec()
+    trace = CholeskyWorkload(num_processes=8, panels=10).trace()
+
+    def run():
+        adaptive = run_scheme(
+            "MHA", spec, trace, scheme_kwargs={"bound_policy": "adaptive", "seed": 0}
+        )
+        average = run_scheme(
+            "MHA", spec, trace, scheme_kwargs={"bound_policy": "average", "seed": 0}
+        )
+        return adaptive, average
+
+    adaptive, average = once(run)
+    print()
+    print(f"adaptive bounds: {adaptive.bandwidth_mib:8.2f} MiB/s")
+    print(f"average bounds:  {average.bandwidth_mib:8.2f} MiB/s")
+    assert adaptive.metrics.bandwidth >= 0.95 * average.metrics.bandwidth

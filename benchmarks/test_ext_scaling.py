@@ -1,0 +1,38 @@
+"""Extension — larger-cluster scaling (the paper's future work).
+
+"As future work, we plan to evaluate MHA in a much larger cluster":
+sweep the cluster size at a fixed H:S ratio and check MHA keeps its
+advantage over DEF and that aggregate bandwidth grows with servers.
+"""
+
+from repro.cluster import ClusterSpec
+from repro.harness.experiment import compare_schemes
+from repro.units import KiB, MiB
+from repro.workloads import IORWorkload
+
+
+def test_cluster_scaling(once):
+    def sweep():
+        results = {}
+        for m, n in ((6, 2), (12, 4), (24, 8)):
+            spec = ClusterSpec(num_hservers=m, num_sservers=n)
+            trace = IORWorkload(
+                num_processes=32,
+                request_sizes=[128 * KiB, 256 * KiB],
+                total_size=16 * MiB,
+                seed=0,
+            ).trace("write")
+            results[(m, n)] = compare_schemes(spec, trace, ("DEF", "MHA"))
+        return results
+
+    results = once(sweep)
+    print()
+    mha_series = []
+    for (m, n), cmp in results.items():
+        mha = cmp.bandwidth("MHA") / MiB
+        ratio = cmp.bandwidth("MHA") / cmp.bandwidth("DEF")
+        mha_series.append(cmp.bandwidth("MHA"))
+        print(f"{m}h:{n}s  MHA {mha:8.2f} MiB/s  ({ratio:.2f}x DEF)")
+        assert cmp.bandwidth("MHA") > cmp.bandwidth("DEF")
+    # aggregate bandwidth scales up with the cluster
+    assert mha_series[-1] > 1.5 * mha_series[0]

@@ -1,0 +1,29 @@
+"""Fig. 7 — IOR bandwidth with mixed request sizes.
+
+Paper's shape: MHA and HARL always beat DEF and AAL; MHA ~= HARL on the
+uniform 16 KB control; MHA strictly best on every mixed configuration;
+bandwidth grows with request size.
+"""
+
+from repro.harness import fig07_ior_mixed_sizes
+
+
+def test_fig07(once):
+    result = once(fig07_ior_mixed_sizes, total_mib=16)
+    print()
+    print(result)
+
+    for op in ("read", "write"):
+        # heterogeneity-aware schemes beat the oblivious ones everywhere
+        for row in (f"16 {op}", f"64+128 {op}", f"128+256 {op}", f"256+512 {op}"):
+            assert result.value(row, "MHA") > result.value(row, "DEF")
+        # uniform control: MHA degenerates to HARL (comparable)
+        uniform = f"16 {op}"
+        assert result.value(uniform, "MHA") >= 0.95 * result.value(uniform, "HARL")
+        # mixed patterns: MHA is the strongest scheme
+        for row in (f"64+128 {op}", f"128+256 {op}", f"256+512 {op}"):
+            for other in ("DEF", "AAL", "HARL"):
+                assert result.value(row, "MHA") >= 0.97 * result.value(row, other)
+
+    # bandwidth rises with request size (amortized startup)
+    assert result.value("256+512 read", "MHA") > result.value("16 read", "MHA")

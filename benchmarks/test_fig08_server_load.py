@@ -1,0 +1,33 @@
+"""Fig. 8 — per-server I/O time under each layout scheme.
+
+Paper's shape: DEF/AAL load the HServers several times harder than the
+SServers (the ~3.5x skew); MHA's per-server I/O times are nearly even
+and its busiest server does the least work of all schemes' busiest
+servers.
+"""
+
+from repro.harness import fig08_server_io_time
+
+
+def test_fig08(once):
+    result = once(fig08_server_io_time, total_mib=16)
+    print()
+    print(result)
+
+    h_rows = [r for r in result.rows if "(H)" in r]
+    s_rows = [r for r in result.rows if "(S)" in r]
+
+    # DEF skew: HServers far busier than SServers
+    def_h = max(result.value(r, "DEF") for r in h_rows)
+    def_s = max(result.value(r, "DEF") for r in s_rows)
+    assert def_h > 2.0 * def_s
+
+    # MHA's busiest server is below DEF's busiest server
+    mha_peak = max(result.value(r, "MHA") for r in result.rows)
+    def_peak = max(result.value(r, "DEF") for r in result.rows)
+    assert mha_peak < def_peak
+
+    # MHA server times are clustered (near-even), normalized to min ~1.0
+    mha_values = [result.value(r, "MHA") for r in result.rows]
+    assert min(mha_values) >= 0.99  # normalization anchor
+    assert max(mha_values) / min(mha_values) < 2.0

@@ -1,0 +1,27 @@
+"""Fig. 9 — IOR bandwidth with mixed process numbers.
+
+Paper's shape: MHA at least matches every other scheme on each
+configuration, and its performance degrades the least as the process
+count grows.
+"""
+
+from repro.harness import fig09_ior_mixed_procs
+
+
+def test_fig09(once):
+    result = once(fig09_ior_mixed_procs, group_mib=8)
+    print()
+    print(result)
+
+    for row in result.rows:
+        for other in ("DEF", "HARL"):
+            assert result.value(row, "MHA") >= 0.97 * result.value(row, other)
+
+    # degradation across the sweep: MHA loses no more than the others
+    def degradation(series):
+        first = result.value("8 write", series)
+        last = result.value("32+128 write", series)
+        return (first - last) / first
+
+    assert degradation("MHA") <= degradation("DEF") + 0.05
+    assert degradation("MHA") <= degradation("HARL") + 0.05

@@ -1,0 +1,29 @@
+"""Fig. 10 — IOR bandwidth across HServer:SServer ratios.
+
+Paper's shape: MHA beats DEF/AAL/HARL at every ratio; read and write
+bandwidth improve as the SServer share grows; DEF barely moves.
+"""
+
+from repro.harness import fig10_server_ratios
+
+
+def test_fig10(once):
+    result = once(fig10_server_ratios, total_mib=16)
+    print()
+    print(result)
+
+    for row in result.rows:
+        assert result.value(row, "MHA") > result.value(row, "DEF")
+        assert result.value(row, "MHA") >= 0.97 * result.value(row, "HARL")
+
+    # more SServers -> more MHA bandwidth (both ops)
+    for op in ("read", "write"):
+        series = [result.value(f"{m}h:{n}s {op}", "MHA") for m, n in
+                  ((7, 1), (6, 2), (5, 3), (4, 4))]
+        assert series[-1] > series[0]
+        assert all(b >= a * 0.95 for a, b in zip(series, series[1:]))
+
+    # DEF cannot exploit the SServers: flat across ratios
+    def_series = [result.value(f"{m}h:{n}s read", "DEF") for m, n in
+                  ((7, 1), (6, 2), (5, 3), (4, 4))]
+    assert max(def_series) / min(def_series) < 1.25

@@ -1,0 +1,20 @@
+"""Fig. 11 — HPIO bandwidth over process counts.
+
+Paper's shape: MHA has "obvious performance advantages over the other
+three layout schemes" at every process count; for these small
+contended requests DEF/AAL (which spread them across seek-bound
+HServers) trail badly.
+"""
+
+from repro.harness import fig11_hpio
+
+
+def test_fig11(once):
+    result = once(fig11_hpio)
+    print()
+    print(result)
+
+    for row in result.rows:
+        for other in ("DEF", "AAL"):
+            assert result.value(row, "MHA") > 1.2 * result.value(row, other)
+        assert result.value(row, "MHA") >= 0.97 * result.value(row, "HARL")

@@ -1,0 +1,18 @@
+"""Fig. 12a — BTIO aggregate bandwidth (class B + C interleaved).
+
+Paper's shape: MHA improves over DEF by ~50-65%, growing with the
+process count relative to DEF; MHA also beats AAL and HARL.
+"""
+
+from repro.harness import fig12a_btio
+
+
+def test_fig12a(once):
+    result = once(fig12a_btio, steps=16)
+    print()
+    print(result)
+
+    for row in result.rows:
+        assert result.value(row, "MHA") > 1.3 * result.value(row, "DEF")
+        for other in ("AAL", "HARL"):
+            assert result.value(row, "MHA") >= 0.97 * result.value(row, other)

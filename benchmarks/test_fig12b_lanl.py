@@ -1,0 +1,19 @@
+"""Fig. 12b — LANL anonymous-application trace replay.
+
+Paper's shape: MHA beats DEF (+89.7% there), AAL (+51.2%) and HARL
+(+15.6%); the mixed 16 B / 128K-16 B / 128 KB loop pattern is exactly
+what reordering groups.
+"""
+
+from repro.harness import fig12b_lanl
+
+
+def test_fig12b(once):
+    result = once(fig12b_lanl)
+    print()
+    print(result)
+
+    mha = result.value("bandwidth", "MHA")
+    assert mha > 1.5 * result.value("bandwidth", "DEF")
+    assert mha > 1.2 * result.value("bandwidth", "AAL")
+    assert mha >= 0.99 * result.value("bandwidth", "HARL")

@@ -1,0 +1,18 @@
+"""Fig. 13a — out-of-core LU decomposition trace replay.
+
+Paper's shape: MHA beats DEF (+56.2%), AAL (+8.1%) and HARL (+14.2%);
+the per-process files hold fixed-size writes and growing reads.
+"""
+
+from repro.harness import fig13a_lu
+
+
+def test_fig13a(once):
+    result = once(fig13a_lu, slabs=16)
+    print()
+    print(result)
+
+    mha = result.value("bandwidth", "MHA")
+    assert mha > 1.3 * result.value("bandwidth", "DEF")
+    assert mha > 1.1 * result.value("bandwidth", "AAL")
+    assert mha >= 0.95 * result.value("bandwidth", "HARL")

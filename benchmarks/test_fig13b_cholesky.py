@@ -1,0 +1,19 @@
+"""Fig. 13b — sparse Cholesky factorization trace replay.
+
+Paper's shape: the strongest trace result (+78.4% over DEF, +58.6% over
+AAL, +29.6% over HARL) because the request sizes vary the most — the
+best case for reordering.
+"""
+
+from repro.harness import fig13b_cholesky
+
+
+def test_fig13b(once):
+    result = once(fig13b_cholesky, panels=14)
+    print()
+    print(result)
+
+    mha = result.value("bandwidth", "MHA")
+    assert mha > 1.3 * result.value("bandwidth", "DEF")
+    assert mha > 1.2 * result.value("bandwidth", "AAL")
+    assert mha >= result.value("bandwidth", "HARL")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Capacity planning: how many SSD servers does this workload need?
+
+A practical use of the simulator beyond reproducing the paper: fix the
+total server count at eight and sweep the HServer:SServer ratio (the
+paper's Fig. 10 axis), measuring what each additional SSD server buys
+for a given workload under the DEF and MHA layouts.  The gap between
+the two curves is the performance an operator loses by adding SSDs
+*without* a heterogeneity-aware layout.
+
+Run::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import ClusterSpec, compare_schemes
+from repro.units import KiB, MiB
+from repro.workloads import IORWorkload
+
+
+def main() -> None:
+    workload = IORWorkload(
+        num_processes=32,
+        request_sizes=[128 * KiB, 256 * KiB],
+        total_size=32 * MiB,
+        seed=3,
+    )
+    trace = workload.trace("write")
+    print(f"workload: IOR {workload.label()}KiB writes, "
+          f"{trace.total_bytes() // MiB} MiB\n")
+    print(f"{'ratio':<8}{'DEF MiB/s':>12}{'MHA MiB/s':>12}{'MHA gain':>10}")
+
+    results = []
+    for hservers, sservers in ((8, 0), (7, 1), (6, 2), (5, 3), (4, 4)):
+        spec = ClusterSpec(num_hservers=hservers, num_sservers=sservers)
+        comparison = compare_schemes(spec, trace, ("DEF", "MHA"))
+        def_bw = comparison.bandwidth("DEF") / MiB
+        mha_bw = comparison.bandwidth("MHA") / MiB
+        gain = comparison.improvement("MHA", over="DEF")
+        results.append((hservers, sservers, def_bw, mha_bw))
+        print(f"{hservers}h:{sservers}s{'':<3}{def_bw:>12.1f}{mha_bw:>12.1f}"
+              f"{gain:>+9.1%}")
+
+    # the planning take-away: bandwidth per added SSD server
+    print("\nmarginal MiB/s per SSD server added (MHA layout):")
+    for (h0, s0, _, b0), (h1, s1, _, b1) in zip(results, results[1:]):
+        print(f"  {h0}h:{s0}s -> {h1}h:{s1}s: {b1 - b0:+8.1f} MiB/s")
+
+
+if __name__ == "__main__":
+    main()

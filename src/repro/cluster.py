@@ -1,0 +1,104 @@
+"""Cluster description: how many HServers/SServers, which devices, what link.
+
+A :class:`ClusterSpec` is the single source of truth shared by the
+PFS simulator (which instantiates servers from it) and the MHA cost
+model (which reads its Table I parameters off it).  The default
+matches the paper's testbed: six HServers, two SServers, eight compute
+nodes, Gigabit Ethernet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .devices import HDD, SSD, Device
+from .exceptions import ConfigurationError
+from .network import GIGABIT_ETHERNET, Link
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A hybrid-PFS cluster: ``M`` HServers + ``N`` SServers + clients.
+
+    Server indices are assigned as ``0..M-1`` for HServers and
+    ``M..M+N-1`` for SServers, the ordering every layout in this
+    library uses.
+    """
+
+    num_hservers: int = 6
+    num_sservers: int = 2
+    num_clients: int = 8
+    hdd: HDD = field(default_factory=HDD)
+    ssd: SSD = field(default_factory=SSD)
+    link: Link = GIGABIT_ETHERNET
+    #: also model the compute nodes' NICs: ranks mapped round-robin
+    #: onto the ``num_clients`` nodes contend for each node's link.
+    #: Off by default — the paper's cost model (and therefore the
+    #: calibrated figures) only consider the server side.
+    model_client_nics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_hservers < 0 or self.num_sservers < 0:
+            raise ConfigurationError("server counts must be non-negative")
+        if self.num_hservers + self.num_sservers == 0:
+            raise ConfigurationError("cluster needs at least one data server")
+        if self.num_clients <= 0:
+            raise ConfigurationError("cluster needs at least one client")
+
+    @property
+    def M(self) -> int:
+        """Number of HServers (Table I ``M``)."""
+        return self.num_hservers
+
+    @property
+    def N(self) -> int:
+        """Number of SServers (Table I ``N``)."""
+        return self.num_sservers
+
+    @property
+    def num_servers(self) -> int:
+        return self.num_hservers + self.num_sservers
+
+    @property
+    def hserver_ids(self) -> tuple[int, ...]:
+        """Cluster indices of the HServers."""
+        return tuple(range(self.num_hservers))
+
+    @property
+    def sserver_ids(self) -> tuple[int, ...]:
+        """Cluster indices of the SServers."""
+        return tuple(range(self.num_hservers, self.num_servers))
+
+    @property
+    def server_ids(self) -> tuple[int, ...]:
+        return tuple(range(self.num_servers))
+
+    def device_for(self, server: int) -> Device:
+        """The device model backing cluster server ``server``."""
+        if 0 <= server < self.num_hservers:
+            return self.hdd
+        if self.num_hservers <= server < self.num_servers:
+            return self.ssd
+        raise ConfigurationError(
+            f"server index {server} out of range 0..{self.num_servers - 1}"
+        )
+
+    def is_hserver(self, server: int) -> bool:
+        """Whether cluster index ``server`` is an HServer."""
+        if not 0 <= server < self.num_servers:
+            raise ConfigurationError(f"server index {server} out of range")
+        return server < self.num_hservers
+
+    def with_ratio(self, num_hservers: int, num_sservers: int) -> "ClusterSpec":
+        """Copy with a different HServer:SServer ratio (Fig. 10 sweeps)."""
+        return ClusterSpec(
+            num_hservers=num_hservers,
+            num_sservers=num_sservers,
+            num_clients=self.num_clients,
+            hdd=self.hdd,
+            ssd=self.ssd,
+            link=self.link,
+            model_client_nics=self.model_client_nics,
+        )

@@ -1,0 +1,265 @@
+"""The Data Reordering Table (DRT).
+
+§III-E: "Each entry in DRT includes five important variables. O_file
+and O_offset are the file name and the offset of the data in the
+original file, R_file and R_offset are the file name and the offset of
+the data in the reordered region.  Length is the size of the data."
+
+The table supports the two access paths the paper needs:
+
+* the **Redirector**'s hot path — translate an original-file extent
+  into region extents (range lookup, served from memory with an LRU
+  list of hot entries, §IV-A);
+* **durability** — every change is synchronously written through to a
+  :class:`~repro.kvstore.hashdb.HashDB` file so the mapping survives
+  power failures (§IV-A), and can be reloaded on the application's
+  next run.
+
+Entry encoding matches the paper's §V-E2 sizing: the numeric payload of
+an entry (O_offset, Length, R_offset) packs into exactly ``6 * 4`` = 24
+bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..exceptions import RedirectionError
+from ..kvstore import HashDB, LRUCache
+
+__all__ = ["DRTEntry", "TranslatedExtent", "DRT", "ENTRY_NUMERIC_BYTES"]
+
+#: bytes of numeric payload per entry — the paper's "6 * 4 B" (§V-E2)
+ENTRY_NUMERIC_BYTES = 24
+
+_VALUE = struct.Struct("<QQ")  # length, r_offset  (r_file appended as text)
+_KEY = struct.Struct("<Q")  # o_offset (o_file prepended as text)
+
+
+@dataclass(frozen=True, order=True)
+class DRTEntry:
+    """One reordering record: original extent -> region extent."""
+
+    o_file: str
+    o_offset: int
+    length: int
+    r_file: str
+    r_offset: int
+
+    def __post_init__(self) -> None:
+        if self.o_offset < 0 or self.r_offset < 0:
+            raise RedirectionError("DRT offsets must be non-negative")
+        if self.length <= 0:
+            raise RedirectionError(f"DRT length must be > 0, got {self.length}")
+
+    @property
+    def o_end(self) -> int:
+        return self.o_offset + self.length
+
+
+@dataclass(frozen=True)
+class TranslatedExtent:
+    """One fragment of a translated request.
+
+    ``file``/``offset`` give the *current* location: the region file
+    when ``mapped`` is True, or the original file when the extent was
+    never reordered (``mapped`` False) and the request falls through to
+    the original layout.
+    """
+
+    file: str
+    offset: int
+    length: int
+    logical_offset: int
+    mapped: bool
+
+
+class DRT:
+    """In-memory interval table with optional synchronous persistence."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        cache_capacity: int = 4096,
+        sync: bool = True,
+    ) -> None:
+        # per original file: parallel sorted lists of entry starts & entries
+        self._starts: dict[str, list[int]] = {}
+        self._entries: dict[str, list[DRTEntry]] = {}
+        self._count = 0
+        self._cache: LRUCache[tuple[str, int], DRTEntry] = LRUCache(cache_capacity)
+        self._db: HashDB | None = None
+        if path is not None:
+            self._db = HashDB(path, sync=sync)
+            for key, value in self._db.items():
+                self._insert(self._decode(key, value), persist=False)
+
+    # -- encoding -------------------------------------------------------
+
+    @staticmethod
+    def _encode_key(entry: DRTEntry) -> bytes:
+        # fixed-width offset first, then the file name: the packed
+        # integer routinely contains NUL bytes, so no separator could
+        # safely delimit a name placed before it
+        return _KEY.pack(entry.o_offset) + entry.o_file.encode()
+
+    @staticmethod
+    def _encode_value(entry: DRTEntry) -> bytes:
+        return _VALUE.pack(entry.length, entry.r_offset) + entry.r_file.encode()
+
+    @staticmethod
+    def _decode(key: bytes, value: bytes) -> DRTEntry:
+        (o_offset,) = _KEY.unpack(key[: _KEY.size])
+        o_file = key[_KEY.size :].decode()
+        length, r_offset = _VALUE.unpack(value[: _VALUE.size])
+        r_file = value[_VALUE.size :].decode()
+        return DRTEntry(
+            o_file=o_file,
+            o_offset=o_offset,
+            length=length,
+            r_file=r_file,
+            r_offset=r_offset,
+        )
+
+    # -- mutation -------------------------------------------------------
+
+    def _insert(self, entry: DRTEntry, persist: bool) -> None:
+        starts = self._starts.setdefault(entry.o_file, [])
+        entries = self._entries.setdefault(entry.o_file, [])
+        idx = bisect_right(starts, entry.o_offset)
+        if idx > 0 and entries[idx - 1].o_end > entry.o_offset:
+            raise RedirectionError(
+                f"DRT entries overlap at {entry.o_file}:{entry.o_offset}"
+            )
+        if idx < len(entries) and entry.o_end > entries[idx].o_offset:
+            raise RedirectionError(
+                f"DRT entries overlap at {entry.o_file}:{entry.o_offset}"
+            )
+        starts.insert(idx, entry.o_offset)
+        entries.insert(idx, entry)
+        self._count += 1
+        if persist and self._db is not None:
+            self._db.put(self._encode_key(entry), self._encode_value(entry))
+
+    def add(self, entry: DRTEntry) -> None:
+        """Insert an entry; synchronously persisted when backed by a file."""
+        self._insert(entry, persist=True)
+
+    # -- lookup ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[DRTEntry]:
+        for file in sorted(self._entries):
+            yield from self._entries[file]
+
+    def entries_for(self, o_file: str) -> list[DRTEntry]:
+        """All entries of one original file, offset-sorted."""
+        return list(self._entries.get(o_file, ()))
+
+    def entry_at(self, o_file: str, offset: int) -> DRTEntry | None:
+        """The entry covering byte ``offset`` of ``o_file``, if any.
+
+        Served through the hot-entry LRU list (§IV-A).
+        """
+        starts = self._starts.get(o_file)
+        if not starts:
+            return None
+        idx = bisect_right(starts, offset) - 1
+        if idx < 0:
+            return None
+        entry = self._entries[o_file][idx]
+        cached = self._cache.get((o_file, entry.o_offset))
+        if cached is None:
+            self._cache.put((o_file, entry.o_offset), entry)
+        if offset < entry.o_end:
+            return entry
+        return None
+
+    def translate(self, o_file: str, offset: int, length: int) -> list[TranslatedExtent]:
+        """Split ``[offset, offset+length)`` of the original file into
+        current locations (region extents and unmapped fall-throughs).
+
+        Fragments are returned in ascending ``logical_offset`` order and
+        tile the request exactly.
+        """
+        if offset < 0 or length < 0:
+            raise RedirectionError("offset and length must be non-negative")
+        result: list[TranslatedExtent] = []
+        starts = self._starts.get(o_file, [])
+        entries = self._entries.get(o_file, [])
+        cursor = offset
+        end = offset + length
+        idx = bisect_right(starts, cursor) - 1
+        if idx < 0:
+            idx = 0
+        while cursor < end:
+            entry = entries[idx] if idx < len(entries) else None
+            if entry is not None and entry.o_end <= cursor:
+                idx += 1
+                continue
+            if entry is None or entry.o_offset >= end:
+                # no further mapping: the rest stays in the original file
+                result.append(
+                    TranslatedExtent(
+                        file=o_file,
+                        offset=cursor,
+                        length=end - cursor,
+                        logical_offset=cursor,
+                        mapped=False,
+                    )
+                )
+                break
+            if cursor < entry.o_offset:
+                take = entry.o_offset - cursor
+                result.append(
+                    TranslatedExtent(
+                        file=o_file,
+                        offset=cursor,
+                        length=take,
+                        logical_offset=cursor,
+                        mapped=False,
+                    )
+                )
+                cursor += take
+            take = min(entry.o_end, end) - cursor
+            result.append(
+                TranslatedExtent(
+                    file=entry.r_file,
+                    offset=entry.r_offset + (cursor - entry.o_offset),
+                    length=take,
+                    logical_offset=cursor,
+                    mapped=True,
+                )
+            )
+            cursor += take
+            idx += 1
+        return result
+
+    # -- stats / persistence ---------------------------------------------
+
+    @property
+    def cache(self) -> LRUCache:
+        """The hot-entry list (for statistics)."""
+        return self._cache
+
+    def numeric_bytes(self) -> int:
+        """Total numeric payload, i.e. ``len(self) * 24`` bytes (§V-E2)."""
+        return self._count * ENTRY_NUMERIC_BYTES
+
+    def close(self) -> None:
+        """Close the backing store, if any."""
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+
+    def __enter__(self) -> "DRT":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

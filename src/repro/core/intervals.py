@@ -1,0 +1,88 @@
+"""Disjoint byte-interval bookkeeping for the Data Reorganizer.
+
+When the reorganizer walks a group's requests it must know which bytes
+of the original file are *already claimed* by an earlier region (a byte
+can live in exactly one reordered location).  :class:`IntervalSet`
+tracks claimed half-open intervals ``[start, end)`` and reports, for a
+new claim, exactly the sub-intervals that were previously unclaimed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """A set of disjoint, sorted half-open integer intervals."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def total(self) -> int:
+        """Total bytes covered."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def intervals(self) -> list[tuple[int, int]]:
+        """The covered intervals as ``(start, end)`` pairs, sorted."""
+        return list(zip(self._starts, self._ends))
+
+    def gaps_in(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Sub-intervals of ``[start, end)`` not currently covered."""
+        if start < 0 or end < start:
+            raise ValueError(f"bad interval [{start}, {end})")
+        if start == end:
+            return []
+        gaps: list[tuple[int, int]] = []
+        cursor = start
+        # first interval possibly overlapping: the one before the
+        # insertion point of `start` among ends
+        idx = bisect_right(self._ends, start)
+        while cursor < end and idx < len(self._starts):
+            s, e = self._starts[idx], self._ends[idx]
+            if s >= end:
+                break
+            if s > cursor:
+                gaps.append((cursor, min(s, end)))
+            cursor = max(cursor, e)
+            idx += 1
+        if cursor < end:
+            gaps.append((cursor, end))
+        return gaps
+
+    def covers(self, start: int, end: int) -> bool:
+        """Whether ``[start, end)`` is fully covered."""
+        return not self.gaps_in(start, end)
+
+    def add(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Claim ``[start, end)``; returns the newly covered gaps.
+
+        Adjacent/overlapping intervals are coalesced, keeping the
+        internal lists small for long sequential claims.
+        """
+        gaps = self.gaps_in(start, end)
+        if start == end:
+            return gaps
+        # locate the span of existing intervals that merge with [start, end)
+        lo = bisect_left(self._ends, start)
+        hi = bisect_right(self._starts, end)
+        if lo < hi:
+            new_start = min(start, self._starts[lo])
+            new_end = max(end, self._ends[hi - 1])
+            del self._starts[lo:hi]
+            del self._ends[lo:hi]
+            self._starts.insert(lo, new_start)
+            self._ends.insert(lo, new_end)
+        else:
+            insort(self._starts, start)
+            self._ends.insert(self._starts.index(start), end)
+        return gaps
+
+    def __contains__(self, point: int) -> bool:
+        idx = bisect_right(self._starts, point) - 1
+        return idx >= 0 and point < self._ends[idx]

@@ -1,0 +1,320 @@
+"""The five-phase MHA workflow (Fig. 6), end to end.
+
+``trace -> [reordering] -> [determination] -> [placement] -> redirector``
+
+:class:`MHAPipeline` is the off-line optimizer run between the
+application's profiled first run and its subsequent runs: it consumes
+the collector's trace and produces an :class:`MHAPlan` holding the DRT,
+the RST, every region's layout and the runtime
+:class:`~repro.core.redirector.Redirector`.
+
+:class:`OnlinePipeline` is the paper's future-work extension — a
+sliding-window variant that re-plans as new requests stream in, for
+applications whose patterns are not predictable from one profiling run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..cluster import ClusterSpec
+from ..exceptions import ConfigurationError
+from ..layouts.base import Layout
+from ..layouts.fixed import FixedStripeLayout
+from ..tracing.analysis import burst_ids_of, concurrency_of
+from ..tracing.record import Trace, TraceRecord
+from ..units import KiB
+from .determinator import DEFAULT_STEP, StripeDecision, determine_stripes
+from .drt import DRT, DRTEntry
+from .features import extract_features
+from .grouping import DEFAULT_MAX_GROUPS, GroupingResult, group_requests, suggest_k
+from .intervals import IntervalSet
+from .params import CostModelParams
+from .placer import place_regions
+from .redirector import Redirector
+from .reorganizer import ReorderPlan, reorganize
+from .rst import RST
+
+__all__ = ["MHAPlan", "MHAPipeline", "OnlinePipeline", "identity_redirector", "load_plan"]
+
+#: stripe size of the original (pre-optimization) file layout — the PFS
+#: default the application was deployed with
+DEFAULT_ORIGINAL_STRIPE = 64 * KiB
+
+
+@dataclass
+class MHAPlan:
+    """Everything the off-line optimization produced."""
+
+    drt: DRT
+    rst: RST
+    region_layouts: dict[str, Layout]
+    original_layouts: dict[str, Layout]
+    redirector: Redirector
+    reorder_plans: dict[str, ReorderPlan] = field(default_factory=dict)
+    groupings: dict[str, GroupingResult] = field(default_factory=dict)
+    decisions: dict[str, StripeDecision] = field(default_factory=dict)
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.region_layouts)
+
+    def migrated_bytes(self) -> int:
+        """Bytes the placement phase copies into region files."""
+        return sum(p.migrated_bytes for p in self.reorder_plans.values())
+
+    def describe(self) -> str:
+        """Human-readable plan summary (regions and stripe pairs)."""
+        lines = [f"MHA plan: {self.num_regions} regions, {len(self.drt)} DRT entries"]
+        for region, pair in self.rst:
+            decision = self.decisions.get(region)
+            cost = f", cost={decision.cost:.4f}s" if decision else ""
+            lines.append(f"  {region}: stripes {pair}{cost}")
+        return "\n".join(lines)
+
+
+class MHAPipeline:
+    """Off-line MHA optimizer for a cluster.
+
+    Parameters
+    ----------
+    spec:
+        The hybrid cluster being laid out.
+    max_groups:
+        §III-D cap on the number of groups per file (metadata bound).
+    k:
+        Explicit group count; by default inferred from the number of
+        distinct feature patterns, clamped to ``max_groups``.
+    step:
+        RSSD stripe-search granularity (Algorithm 2; default 4 KB).
+    gap:
+        Phase-detection time gap for concurrency analysis (trace time
+        units).
+    bound_policy:
+        ``"adaptive"`` (MHA) or ``"average"`` (HARL-style bounds, for
+        ablation).
+    original_stripe:
+        Stripe size of the pre-existing file layout, used for unmapped
+        fall-through extents.
+    drt_path / rst_path:
+        Optional persistence locations (Berkeley-DB stand-in files).
+    max_eval_requests / seed:
+        Cost-evaluation sampling bound and RNG seed (determinism).
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        *,
+        max_groups: int = DEFAULT_MAX_GROUPS,
+        k: int | None = None,
+        step: int = DEFAULT_STEP,
+        gap: float = 0.5,
+        spatial: bool | int = True,
+        bound_policy: str = "adaptive",
+        original_stripe: int = DEFAULT_ORIGINAL_STRIPE,
+        drt_path: str | Path | None = None,
+        rst_path: str | Path | None = None,
+        max_eval_requests: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if k is not None and k <= 0:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.spec = spec
+        self.params = CostModelParams.from_cluster(spec)
+        self.max_groups = max_groups
+        self.k = k
+        self.step = step
+        self.gap = gap
+        self.spatial = spatial
+        self.bound_policy = bound_policy
+        self.original_stripe = original_stripe
+        self.drt_path = drt_path
+        self.rst_path = rst_path
+        self.max_eval_requests = max_eval_requests
+        self.seed = seed
+
+    def _original_layout(self, file: str) -> Layout:
+        return FixedStripeLayout(
+            servers=self.spec.server_ids, stripe=self.original_stripe, obj=file
+        )
+
+    def plan(self, trace: Trace) -> MHAPlan:
+        """Run reordering + determination + placement over a trace."""
+        drt = DRT(self.drt_path) if self.drt_path else DRT()
+        rst = RST(self.rst_path) if self.rst_path else RST()
+        reorder_plans: dict[str, ReorderPlan] = {}
+        groupings: dict[str, GroupingResult] = {}
+        decisions: dict[str, StripeDecision] = {}
+        original_layouts: dict[str, Layout] = {}
+
+        for file in trace.files():
+            sub = trace.for_file(file).sorted_by_offset()
+            original_layouts[file] = self._original_layout(file)
+            features = extract_features(sub, gap=self.gap, spatial=self.spatial)
+            distinct = int(np.unique(features.points, axis=0).shape[0]) if len(sub) else 1
+            k = self.k if self.k is not None else suggest_k(
+                len(sub), distinct, self.max_groups
+            )
+            grouping = group_requests(features, k=k, seed=self.seed)
+            groupings[file] = grouping
+            # Per-group concurrency: once migrated, a region only ever
+            # receives its own group's requests, so the burst size that
+            # matters for its stripe decision is the number of
+            # *same-group* requests issued simultaneously.  (Schemes
+            # without grouping cannot make this distinction — that
+            # sharper cost estimate is part of what reordering buys.)
+            conc: dict[TraceRecord, int] = {}
+            bursts: dict[TraceRecord, int] = {}
+            next_burst = 0
+            for g in range(grouping.k):
+                members = Trace(sub[int(i)] for i in grouping.members(g))
+                conc.update(
+                    concurrency_of(members, gap=self.gap, spatial=self.spatial)
+                )
+                ids = burst_ids_of(members, gap=self.gap, spatial=self.spatial)
+                for record, local_id in ids.items():
+                    bursts[record] = next_burst + local_id
+                next_burst += (max(ids.values()) + 1) if ids else 0
+            plan = reorganize(
+                sub, grouping, conc, o_file=file, drt=drt, bursts=bursts
+            )
+            reorder_plans[file] = plan
+            for region in plan.regions:
+                offsets, lengths, is_read, concurrency, burst_ids = (
+                    region.request_arrays()
+                )
+                decision = determine_stripes(
+                    self.params,
+                    offsets,
+                    lengths,
+                    is_read,
+                    concurrency,
+                    step=self.step,
+                    bound_policy=self.bound_policy,
+                    max_eval_requests=self.max_eval_requests,
+                    seed=self.seed,
+                    burst_ids=burst_ids,
+                )
+                decisions[region.name] = decision
+                rst.set(region.name, decision.pair)
+
+        region_layouts = place_regions(self.spec, rst)
+        redirector = Redirector(drt, region_layouts, original_layouts)
+        return MHAPlan(
+            drt=drt,
+            rst=rst,
+            region_layouts=region_layouts,
+            original_layouts=original_layouts,
+            redirector=redirector,
+            reorder_plans=reorder_plans,
+            groupings=groupings,
+            decisions=decisions,
+        )
+
+
+def load_plan(
+    spec: ClusterSpec,
+    drt_path: str | Path,
+    rst_path: str | Path,
+    original_stripe: int = DEFAULT_ORIGINAL_STRIPE,
+) -> MHAPlan:
+    """Restore a runtime-ready plan from persisted metadata tables.
+
+    This is the application's *subsequent run* in the paper's workflow:
+    no trace, no optimization — just load the DRT and RST files the
+    off-line pipeline wrote, rebuild each region's layout from its
+    stripe pair, and hand back a working redirector.  The analysis
+    artifacts (groupings, reorder plans, decisions) are not persisted
+    and come back empty.
+    """
+    drt = DRT(drt_path)
+    rst = RST(rst_path)
+    region_layouts = place_regions(spec, rst)
+    original_layouts: dict[str, Layout] = {}
+    for entry in drt:
+        if entry.o_file not in original_layouts:
+            original_layouts[entry.o_file] = FixedStripeLayout(
+                servers=spec.server_ids, stripe=original_stripe, obj=entry.o_file
+            )
+    redirector = Redirector(drt, region_layouts, original_layouts)
+    return MHAPlan(
+        drt=drt,
+        rst=rst,
+        region_layouts=region_layouts,
+        original_layouts=original_layouts,
+        redirector=redirector,
+    )
+
+
+def identity_redirector(
+    spec: ClusterSpec,
+    trace: Trace,
+    stripe: int = DEFAULT_ORIGINAL_STRIPE,
+) -> Redirector:
+    """A redirector whose DRT maps every accessed extent back to the
+    original file at the same offset.
+
+    This is the paper's Fig. 14 instrument: "We intentionally do not
+    make data reordering so that I/O requests are redirected to the
+    original I/O system" — the redirection machinery runs at full cost
+    while the data placement is unchanged, isolating the lookup
+    overhead.
+    """
+    drt = DRT()
+    layouts: dict[str, Layout] = {}
+    claimed: dict[str, IntervalSet] = {}
+    for record in trace.sorted_by_offset():
+        layouts.setdefault(
+            record.file,
+            FixedStripeLayout(spec.server_ids, stripe, obj=record.file),
+        )
+        spans = claimed.setdefault(record.file, IntervalSet())
+        for start, end in spans.add(record.offset, record.end):
+            drt.add(
+                DRTEntry(
+                    o_file=record.file,
+                    o_offset=start,
+                    length=end - start,
+                    r_file=record.file,
+                    r_offset=start,
+                )
+            )
+    # region layouts == original layouts: data did not move
+    return Redirector(drt, dict(layouts), dict(layouts))
+
+
+class OnlinePipeline:
+    """Sliding-window re-planning (the paper's dynamic future work).
+
+    Feed runtime records through :meth:`observe`; once ``window``
+    records have accumulated since the last plan, the off-line pipeline
+    re-runs over the most recent ``window`` records.  The current plan
+    is always available (``None`` until the first window fills).
+    """
+
+    def __init__(self, pipeline: MHAPipeline, window: int = 1024) -> None:
+        if window <= 0:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.pipeline = pipeline
+        self.window = window
+        self._buffer: list[TraceRecord] = []
+        self._since_plan = 0
+        self.plan: MHAPlan | None = None
+        self.replans = 0
+
+    def observe(self, record: TraceRecord) -> MHAPlan | None:
+        """Add one runtime record; returns a fresh plan when one is built."""
+        self._buffer.append(record)
+        if len(self._buffer) > self.window:
+            self._buffer.pop(0)
+        self._since_plan += 1
+        if self._since_plan >= self.window:
+            self.plan = self.pipeline.plan(Trace(self._buffer))
+            self._since_plan = 0
+            self.replans += 1
+            return self.plan
+        return None

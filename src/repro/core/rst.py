@@ -1,0 +1,85 @@
+"""The Region Stripe Table (RST).
+
+§III-G: "such stripe pairs of all the regions are stored into a global
+Region Stripe Table (RST), which is managed by a Meta-Data Server".
+Each record maps a region (storage object / file name) to its optimized
+``<h, s>`` stripe pair.  Like the DRT it is persisted through the
+Berkeley-DB stand-in with synchronous write-through (§IV-A).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..exceptions import RedirectionError
+from ..kvstore import HashDB
+
+__all__ = ["StripePair", "RST"]
+
+_VALUE = struct.Struct("<QQ")
+
+
+@dataclass(frozen=True)
+class StripePair:
+    """An optimized ``<h, s>`` layout decision for one region."""
+
+    h: int
+    s: int
+
+    def __post_init__(self) -> None:
+        if self.h < 0 or self.s < 0:
+            raise RedirectionError(f"stripe sizes must be >= 0: <{self.h}, {self.s}>")
+        if self.h == 0 and self.s == 0:
+            raise RedirectionError("stripe pair <0, 0> places no data")
+
+    def __str__(self) -> str:
+        return f"<{self.h}, {self.s}>"
+
+
+class RST:
+    """region/file name -> :class:`StripePair`, optionally persistent."""
+
+    def __init__(self, path: str | Path | None = None, sync: bool = True) -> None:
+        self._table: dict[str, StripePair] = {}
+        self._db: HashDB | None = None
+        if path is not None:
+            self._db = HashDB(path, sync=sync)
+            for key, value in self._db.items():
+                h, s = _VALUE.unpack(value)
+                self._table[key.decode()] = StripePair(h, s)
+
+    def set(self, region: str, pair: StripePair) -> None:
+        """Record (and persist) the stripe pair for ``region``."""
+        self._table[region] = pair
+        if self._db is not None:
+            self._db.put(region.encode(), _VALUE.pack(pair.h, pair.s))
+
+    def get(self, region: str) -> StripePair:
+        """The stripe pair for ``region``; raises if unknown."""
+        try:
+            return self._table[region]
+        except KeyError:
+            raise RedirectionError(f"no RST entry for region {region!r}") from None
+
+    def __contains__(self, region: str) -> bool:
+        return region in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[tuple[str, StripePair]]:
+        return iter(sorted(self._table.items()))
+
+    def close(self) -> None:
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+
+    def __enter__(self) -> "RST":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

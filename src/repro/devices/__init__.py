@@ -1,0 +1,18 @@
+"""Storage device models: HDD (HServer) and SSD (SServer) substrates."""
+
+from .base import Device, OpType, READ, WRITE
+from .calibrate import AffineFit, fit_affine, measure_device
+from .hdd import HDD
+from .ssd import SSD
+
+__all__ = [
+    "Device",
+    "OpType",
+    "READ",
+    "WRITE",
+    "HDD",
+    "SSD",
+    "AffineFit",
+    "fit_affine",
+    "measure_device",
+]

@@ -1,0 +1,72 @@
+"""Derive cost-model parameters from device models, and vice versa.
+
+MHA's layout determinator needs the Table I parameters
+(``alpha_h``, ``beta_h``, ``alpha_sr`` ...).  On the paper's testbed
+these are measured by profiling the servers; here they are read off the
+device models (:func:`params_from_devices`) — the honest equivalent of
+a perfectly calibrated profile — or *estimated* from observed
+(size, time) samples via least squares (:func:`fit_affine`), which is
+what a real deployment's calibration run would do.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Device, READ, WRITE
+
+__all__ = ["fit_affine", "measure_device", "AffineFit"]
+
+
+class AffineFit:
+    """Result of fitting ``time = alpha + beta * nbytes``."""
+
+    __slots__ = ("alpha", "beta", "residual")
+
+    def __init__(self, alpha: float, beta: float, residual: float) -> None:
+        self.alpha = alpha
+        self.beta = beta
+        self.residual = residual
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AffineFit(alpha={self.alpha:.3e}, beta={self.beta:.3e})"
+
+
+def fit_affine(sizes: Sequence[int], times: Sequence[float]) -> AffineFit:
+    """Least-squares fit of the cost model's affine service-time law.
+
+    Negative fitted intercepts are clamped to zero (a startup time
+    cannot be negative; tiny negative values arise from noise).
+    """
+    x = np.asarray(sizes, dtype=np.float64)
+    y = np.asarray(times, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("sizes and times must be 1-D sequences of equal length")
+    if x.size < 2:
+        raise ValueError("need at least two samples to fit alpha and beta")
+    design = np.column_stack([np.ones_like(x), x])
+    coef, residual, _rank, _sv = np.linalg.lstsq(design, y, rcond=None)
+    alpha = float(max(coef[0], 0.0))
+    beta = float(max(coef[1], 0.0))
+    res = float(residual[0]) if residual.size else 0.0
+    return AffineFit(alpha, beta, res)
+
+
+def measure_device(
+    device: Device,
+    op: str,
+    sizes: Sequence[int] = (4096, 16384, 65536, 262144, 1048576),
+) -> AffineFit:
+    """Probe a device model at several sizes and fit alpha/beta.
+
+    This mimics the calibration micro-benchmark a deployment would run:
+    issue random-access requests of increasing size, time them, and fit
+    the affine law.  For our analytic device models the fit recovers the
+    model's own parameters exactly (a useful test invariant).
+    """
+    if op not in (READ, WRITE):
+        raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+    times = [device.service_time(op, n, sequential=False) for n in sizes]
+    return fit_affine(list(sizes), times)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception the library raises intentionally derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "LayoutError",
+    "TraceError",
+    "SimulationError",
+    "RedirectionError",
+    "KVStoreError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class LayoutError(ReproError):
+    """A layout cannot map a request (bad stripe sizes, empty server set...)."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class RedirectionError(ReproError):
+    """The redirector could not translate a request through the DRT."""
+
+
+class KVStoreError(ReproError):
+    """The persistent key-value store is corrupt or misused."""

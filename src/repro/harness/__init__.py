@@ -1,0 +1,42 @@
+"""Benchmark harness: experiments, figure reproductions, reporting."""
+
+from .experiment import Comparison, SchemeRun, compare_schemes, run_scheme
+from .figures import (
+    ALL_FIGURES,
+    fig07_ior_mixed_sizes,
+    fig08_server_io_time,
+    fig09_ior_mixed_procs,
+    fig10_server_ratios,
+    fig11_hpio,
+    fig12a_btio,
+    fig12b_lanl,
+    fig13a_lu,
+    fig13b_cholesky,
+    fig14_redirection_overhead,
+)
+from .report import FigureResult, bandwidth_mib, format_bars, format_table
+from .sweep import SweepPoint, sweep
+
+__all__ = [
+    "Comparison",
+    "SchemeRun",
+    "compare_schemes",
+    "run_scheme",
+    "FigureResult",
+    "format_table",
+    "format_bars",
+    "SweepPoint",
+    "sweep",
+    "bandwidth_mib",
+    "ALL_FIGURES",
+    "fig07_ior_mixed_sizes",
+    "fig08_server_io_time",
+    "fig09_ior_mixed_procs",
+    "fig10_server_ratios",
+    "fig11_hpio",
+    "fig12a_btio",
+    "fig12b_lanl",
+    "fig13a_lu",
+    "fig13b_cholesky",
+    "fig14_redirection_overhead",
+]

@@ -1,0 +1,62 @@
+"""Command-line harness: regenerate any paper figure from a terminal.
+
+``python -m repro.harness fig07`` (or the installed ``repro-harness``
+script) prints the reproduced rows of the requested figure; ``all``
+runs the whole evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import ALL_FIGURES
+from .report import format_bars
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Reproduce the MHA paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="figure ids to run (or 'all')",
+    )
+    parser.add_argument(
+        "--schemes",
+        default=None,
+        help="comma-separated scheme subset (e.g. DEF,MHA)",
+    )
+    parser.add_argument(
+        "--bars",
+        action="store_true",
+        help="render results as ASCII bar charts instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = sorted(ALL_FIGURES) if "all" in args.figures else args.figures
+    kwargs = {}
+    if args.schemes:
+        kwargs["schemes"] = tuple(s.strip().upper() for s in args.schemes.split(","))
+
+    for fig in wanted:
+        fn = ALL_FIGURES[fig]
+        started = time.perf_counter()
+        if fig == "fig14":
+            result = fn()  # fig14 has no scheme axis
+        else:
+            result = fn(**kwargs)
+        elapsed = time.perf_counter() - started
+        print(format_bars(result) if args.bars else result)
+        print(f"  ({elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

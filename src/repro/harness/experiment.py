@@ -1,0 +1,100 @@
+"""Experiment primitives: run (scheme × workload) and compare.
+
+The paper's evaluation protocol, condensed: profile the application
+once (the tracing phase is free here because the workload generators
+*are* the traces), build each scheme's layout off-line from the
+profile, then replay the application against each layout and report
+aggregate bandwidth.  :func:`compare_schemes` does exactly that for a
+list of schemes, sharing one trace so the comparison is paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import ClusterSpec
+from ..pfs.replay import RunMetrics, run_workload
+from ..schemes.registry import make_scheme, scheme_names
+from ..tracing.record import Trace
+from ..units import MiB
+
+__all__ = ["SchemeRun", "Comparison", "run_scheme", "compare_schemes"]
+
+
+@dataclass(frozen=True)
+class SchemeRun:
+    """One scheme's replay outcome."""
+
+    scheme: str
+    metrics: RunMetrics
+
+    @property
+    def bandwidth_mib(self) -> float:
+        return self.metrics.bandwidth / MiB
+
+
+@dataclass
+class Comparison:
+    """Paired scheme results on one workload configuration."""
+
+    label: str
+    runs: dict[str, SchemeRun] = field(default_factory=dict)
+
+    def bandwidth(self, scheme: str) -> float:
+        """Scheme bandwidth in bytes/s."""
+        return self.runs[scheme].metrics.bandwidth
+
+    def improvement(self, scheme: str, over: str) -> float:
+        """Fractional bandwidth improvement of ``scheme`` over ``over``
+        (e.g. 0.15 == +15 %), the paper's headline metric."""
+        base = self.bandwidth(over)
+        if base == 0:
+            return 0.0
+        return self.bandwidth(scheme) / base - 1.0
+
+    def ranking(self) -> list[str]:
+        """Schemes from fastest to slowest."""
+        return sorted(self.runs, key=self.bandwidth, reverse=True)
+
+    def __getitem__(self, scheme: str) -> SchemeRun:
+        return self.runs[scheme]
+
+
+def run_scheme(
+    name: str,
+    spec: ClusterSpec,
+    profile_trace: Trace,
+    replay_trace_: Trace | None = None,
+    *,
+    scheme_kwargs: dict | None = None,
+) -> SchemeRun:
+    """Build scheme ``name`` from ``profile_trace`` and replay.
+
+    ``replay_trace_`` defaults to the profile trace (the paper's
+    "subsequent runs" repeat the profiled pattern); pass a different
+    trace to study mispredicted patterns.
+    """
+    scheme = make_scheme(name, **(scheme_kwargs or {}))
+    view = scheme.build(spec, profile_trace)
+    replay = replay_trace_ if replay_trace_ is not None else profile_trace
+    metrics = run_workload(spec, view, replay)
+    return SchemeRun(scheme=name, metrics=metrics)
+
+
+def compare_schemes(
+    spec: ClusterSpec,
+    trace: Trace,
+    schemes: tuple[str, ...] | None = None,
+    *,
+    label: str = "",
+    scheme_kwargs: dict[str, dict] | None = None,
+) -> Comparison:
+    """Run every scheme on one workload trace; returns paired results."""
+    schemes = schemes if schemes is not None else scheme_names()
+    scheme_kwargs = scheme_kwargs or {}
+    comparison = Comparison(label=label)
+    for name in schemes:
+        comparison.runs[name] = run_scheme(
+            name, spec, trace, scheme_kwargs=scheme_kwargs.get(name)
+        )
+    return comparison

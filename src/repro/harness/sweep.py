@@ -1,0 +1,72 @@
+"""Generic parameter sweeps over (cluster, workload, scheme) space.
+
+The per-figure entry points in :mod:`repro.harness.figures` hard-code
+the paper's sweeps; :func:`sweep` is the general tool behind them for
+exploring beyond the paper — vary any workload constructor argument or
+the cluster shape, get a :class:`~repro.harness.report.FigureResult`
+back, and print or bar-chart it like any reproduced figure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..cluster import ClusterSpec
+from ..tracing.record import Trace
+from .experiment import compare_schemes
+from .report import FigureResult, bandwidth_mib
+
+__all__ = ["sweep", "SweepPoint"]
+
+
+class SweepPoint:
+    """One sweep coordinate: a label plus its cluster and trace."""
+
+    __slots__ = ("label", "spec", "trace")
+
+    def __init__(self, label: str, spec: ClusterSpec, trace: Trace) -> None:
+        self.label = label
+        self.spec = spec
+        self.trace = trace
+
+
+def sweep(
+    points: Iterable[SweepPoint],
+    schemes: Sequence[str] | None = None,
+    *,
+    title: str = "custom sweep",
+    figure: str = "sweep",
+    scheme_kwargs: dict[str, dict] | None = None,
+) -> FigureResult:
+    """Run every scheme on every sweep point.
+
+    Example — vary the request size::
+
+        points = [
+            SweepPoint(f"{k}KiB", spec,
+                       IORWorkload(request_sizes=k * KiB,
+                                   total_size=16 * MiB).trace("write"))
+            for k in (16, 64, 256)
+        ]
+        print(sweep(points))
+    """
+    result = FigureResult(figure=figure, title=title)
+    for point in points:
+        comparison = compare_schemes(
+            point.spec,
+            point.trace,
+            tuple(schemes) if schemes else None,
+            label=point.label,
+            scheme_kwargs=scheme_kwargs,
+        )
+        for name, run in comparison.runs.items():
+            result.add(point.label, name, bandwidth_mib(run.metrics.bandwidth))
+    return result
+
+
+def grid(
+    labels_and_values: Sequence[tuple[str, object]],
+    make_point: Callable[[object], SweepPoint],
+) -> list[SweepPoint]:
+    """Small helper: build sweep points from (label, value) pairs."""
+    return [make_point(value) for _label, value in labels_and_values]

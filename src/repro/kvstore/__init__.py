@@ -1,0 +1,6 @@
+"""Persistent key-value substrate (the paper's Berkeley DB role)."""
+
+from .cache import LRUCache
+from .hashdb import HashDB
+
+__all__ = ["HashDB", "LRUCache"]

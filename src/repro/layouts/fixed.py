@@ -1,0 +1,64 @@
+"""Fixed-size round-robin striping — the classic PFS layout (DEF).
+
+A file is cut into ``stripe``-byte units distributed over the servers
+in round-robin order (Fig. 1 of the paper).  This is the OrangeFS /
+Lustre default that the DEF baseline uses with a 64 KB stripe.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import LayoutError
+from .base import Layout, SubRequest
+
+__all__ = ["FixedStripeLayout"]
+
+
+class FixedStripeLayout(Layout):
+    """Round-robin fixed striping over an ordered server list."""
+
+    def __init__(self, servers: Sequence[int], stripe: int, obj: str = "file") -> None:
+        if not servers:
+            raise LayoutError("FixedStripeLayout needs at least one server")
+        if len(set(servers)) != len(servers):
+            raise LayoutError(f"duplicate server indices: {list(servers)}")
+        if stripe <= 0:
+            raise LayoutError(f"stripe must be > 0, got {stripe}")
+        self._servers = tuple(servers)
+        self.stripe = int(stripe)
+        self.obj = obj
+
+    @property
+    def servers(self) -> Sequence[int]:
+        return self._servers
+
+    def map_extent(self, offset: int, length: int) -> list[SubRequest]:
+        if offset < 0 or length < 0:
+            raise LayoutError("offset and length must be non-negative")
+        fragments: list[SubRequest] = []
+        nservers = len(self._servers)
+        cursor = offset
+        end = offset + length
+        while cursor < end:
+            stripe_idx, within = divmod(cursor, self.stripe)
+            take = min(self.stripe - within, end - cursor)
+            server = self._servers[stripe_idx % nservers]
+            server_offset = (stripe_idx // nservers) * self.stripe + within
+            fragments.append(
+                SubRequest(
+                    server=server,
+                    obj=self.obj,
+                    offset=server_offset,
+                    length=take,
+                    logical_offset=cursor,
+                )
+            )
+            cursor += take
+        return fragments
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedStripeLayout(servers={list(self._servers)}, "
+            f"stripe={self.stripe}, obj={self.obj!r})"
+        )

@@ -1,0 +1,7 @@
+"""Simulated MPI-IO middleware (the MPICH2 role): ranks, files, ADIO."""
+
+from .adio import dispatch
+from .file import MPIFile
+from .rank import MPIJob, MPIRank
+
+__all__ = ["MPIJob", "MPIRank", "MPIFile", "dispatch"]

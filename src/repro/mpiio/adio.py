@@ -1,0 +1,31 @@
+"""The ADIO dispatch layer — where MHA hooks into the middleware.
+
+In MPICH2, file operations funnel through ADIO before reaching the file
+system driver; the paper's implementation modifies exactly this spot so
+"the user requests can be atomically forwarded to the alternative file
+servers" (§IV-B).  :func:`dispatch` is our equivalent: map the request
+through the active file view (redirector or static layout) and issue
+the fragments to the PFS.
+"""
+
+from __future__ import annotations
+
+from ..devices.base import OpType
+from ..pfs.replay import FileView
+from ..pfs.system import HybridPFS
+from ..simulate import Completion
+
+__all__ = ["dispatch"]
+
+
+def dispatch(
+    pfs: HybridPFS,
+    view: FileView,
+    path: str,
+    op: OpType,
+    offset: int,
+    size: int,
+) -> Completion:
+    """Resolve and issue one file operation; returns its completion."""
+    fragments = view.map_request(path, offset, size)
+    return pfs.issue(op, fragments)

@@ -1,0 +1,85 @@
+"""MPI-IO-like file handles over the simulated PFS.
+
+Mirrors the subset of the MPI-IO surface the paper modifies (§IV-B):
+``MPI_File_read/write`` (here :meth:`MPIFile.read_at` /
+:meth:`MPIFile.write_at`) are intercepted by the ADIO dispatch layer,
+which consults the file view — the MHA redirector or a plain layout —
+and forwards the operation to the proper servers, transparently to the
+caller.  Operations return completions the rank program yields on
+(synchronous I/O is "issue then immediately wait").
+"""
+
+from __future__ import annotations
+
+from ..devices.base import READ, WRITE
+from ..simulate import Completion
+from .adio import dispatch
+
+__all__ = ["MPIFile"]
+
+
+class MPIFile:
+    """One rank's handle on a logical file."""
+
+    def __init__(self, job, rank: int, path: str, collect: bool = True) -> None:
+        self._job = job
+        self._rank = rank
+        self.path = path
+        self._collect = collect
+        self._closed = False
+
+    def _op(self, op: str, offset: int, size: int) -> Completion:
+        if self._closed:
+            raise ValueError(f"I/O on closed file {self.path!r}")
+        if self._collect and self._job.collector is not None:
+            self._job.collector.record(
+                rank=self._rank,
+                op=op,
+                offset=offset,
+                size=size,
+                file=self.path,
+                timestamp=self._job.sim.now,
+            )
+        return dispatch(self._job.pfs, self._job.view, self.path, op, offset, size)
+
+    def read_at(self, offset: int, size: int) -> Completion:
+        """Start a read; yield the result to wait for completion."""
+        return self._op(READ, offset, size)
+
+    def write_at(self, offset: int, size: int) -> Completion:
+        """Start a write; yield the result to wait for completion."""
+        return self._op(WRITE, offset, size)
+
+    def _collective(self, op: str, offset: int, size: int) -> Completion:
+        if self._closed:
+            raise ValueError(f"I/O on closed file {self.path!r}")
+        if self._collect and self._job.collector is not None:
+            self._job.collector.record(
+                rank=self._rank,
+                op=op,
+                offset=offset,
+                size=size,
+                file=self.path,
+                timestamp=self._job.sim.now,
+            )
+        return self._job.collective(self._rank, self.path, op, offset, size)
+
+    def read_at_all(self, offset: int, size: int) -> Completion:
+        """Collective read (``MPI_File_read_at_all``): every rank of
+        the job must call it; all participants resume together once
+        the slowest portion completes."""
+        return self._collective(READ, offset, size)
+
+    def write_at_all(self, offset: int, size: int) -> Completion:
+        """Collective write (``MPI_File_write_at_all``); see
+        :meth:`read_at_all`."""
+        return self._collective(WRITE, offset, size)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "MPIFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

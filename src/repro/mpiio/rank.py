@@ -1,0 +1,144 @@
+"""Simulated MPI ranks and jobs.
+
+The paper implements MHA inside MPICH2's MPI-IO path; applications call
+``MPI_File_read/write`` and never see the redirection.  This module
+gives examples and tests the same programming surface: an
+:class:`MPIJob` spawns one simulated process per rank, each running a
+user-supplied *program* — a generator taking an :class:`MPIRank` handle
+and yielding on I/O completions — against the shared PFS simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from ..pfs.replay import FileView
+from ..pfs.system import HybridPFS
+from ..simulate import Completion, Simulator
+from ..tracing.collector import IOCollector
+
+__all__ = ["MPIRank", "MPIJob"]
+
+class MPIRank:
+    """Per-rank handle passed to rank programs."""
+
+    def __init__(self, job: "MPIJob", rank: int) -> None:
+        self._job = job
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        """Total ranks in the job (``MPI_Comm_size``)."""
+        return self._job.size
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._job.pfs.sim.now
+
+    def open(self, path: str, collect: bool = True):
+        """Open a file through the MPI-IO layer.
+
+        Returns an :class:`repro.mpiio.file.MPIFile` handle.
+        """
+        from .file import MPIFile
+
+        return MPIFile(self._job, self.rank, path, collect=collect)
+
+
+# a rank program is a generator: yield completions (or delays) to wait
+RankProgram = Callable[[MPIRank], Generator]
+
+
+class MPIJob:
+    """A simulated MPI job over a hybrid PFS.
+
+    Parameters
+    ----------
+    pfs:
+        The file system simulator to run against.
+    view:
+        File view resolving requests to servers (a scheme's output).
+    size:
+        Number of ranks.
+    collector:
+        Optional trace collector; when present, every MPI-IO operation
+        is recorded with simulated timestamps (the tracing phase).
+    """
+
+    def __init__(
+        self,
+        pfs: HybridPFS,
+        view: FileView,
+        size: int,
+        collector: IOCollector | None = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"job size must be >= 1, got {size}")
+        self.pfs = pfs
+        self.view = view
+        self.size = size
+        self.collector = collector
+
+    @property
+    def sim(self) -> Simulator:
+        return self.pfs.sim
+
+    def run(self, program: RankProgram) -> float:
+        """Run ``program`` on every rank to completion (SPMD).
+
+        Returns the simulated makespan of the job.
+        """
+        start = self.sim.now
+        self._collectives: dict[tuple, _Collective] = {}
+        self._collective_seq: dict[tuple, int] = {}
+        for rank in range(self.size):
+            handle = MPIRank(self, rank)
+            self.sim.spawn(program(handle), name=f"rank{rank}")
+        self.sim.run()
+        return self.sim.now - start
+
+    def collective(
+        self, rank: int, path: str, op: str, offset: int, size: int
+    ) -> Completion:
+        """Join a collective I/O operation (``MPI_File_*_at_all``).
+
+        Each rank's *n*-th collective call on ``(path, op)`` joins the
+        same operation; the I/O is issued once every rank has arrived,
+        and the returned completion fires — for every participant —
+        when the slowest rank's portion finishes.  That
+        arrive-issue-complete structure is the implicit barrier of
+        MPI-IO's collective calls.
+        """
+        if not hasattr(self, "_collectives"):
+            self._collectives = {}
+            self._collective_seq = {}
+        seq_key = (rank, path, op)
+        seq = self._collective_seq.get(seq_key, 0)
+        self._collective_seq[seq_key] = seq + 1
+        key = (path, op, seq)
+        coll = self._collectives.get(key)
+        if coll is None:
+            coll = _Collective(self.size)
+            self._collectives[key] = coll
+        coll.portions.append((rank, offset, size))
+        if len(coll.portions) == self.size:
+            from .adio import dispatch
+
+            completions = [
+                dispatch(self.pfs, self.view, path, op, o, s)
+                for _, o, s in coll.portions
+            ]
+            self.sim.all_of(completions).add_waiter(coll.done.fire)
+        return coll.done
+
+
+class _Collective:
+    """Book-keeping for one in-flight collective operation."""
+
+    __slots__ = ("expected", "portions", "done")
+
+    def __init__(self, expected: int) -> None:
+        self.expected = expected
+        self.portions: list[tuple[int, int, int]] = []
+        self.done = Completion()

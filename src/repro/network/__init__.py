@@ -1,0 +1,5 @@
+"""Network substrate: the per-server link model (Table I's ``t``)."""
+
+from .link import GIGABIT_ETHERNET, Link
+
+__all__ = ["Link", "GIGABIT_ETHERNET"]

@@ -1,0 +1,25 @@
+"""Hybrid parallel file system simulator (the OrangeFS-testbed role)."""
+
+from .mds import MetaDataServer
+from .migration import MigrationMetrics, simulate_migration
+from .replay import FileView, RunMetrics, replay_trace, run_workload
+from .server import DataServer, ServerStats
+from .storage import DataClient, ObjectStore, migrate
+from .system import HybridPFS, merge_fragments
+
+__all__ = [
+    "DataServer",
+    "ServerStats",
+    "MetaDataServer",
+    "HybridPFS",
+    "merge_fragments",
+    "FileView",
+    "RunMetrics",
+    "DataClient",
+    "ObjectStore",
+    "migrate",
+    "MigrationMetrics",
+    "simulate_migration",
+    "replay_trace",
+    "run_workload",
+]

@@ -1,0 +1,42 @@
+"""Metadata server (MDS) model.
+
+§III-G: "Upon receiving a file request, a client first contacts the MDS
+to get the file's meta-data ... the MDS looks up the RST according to
+the request's offset and length".  For bandwidth-dominated workloads
+this lookup is cheap; the model charges a configurable per-lookup
+latency (default reflects one round trip on the cluster interconnect)
+so metadata pressure appears in the simulation without dominating it.
+"""
+
+from __future__ import annotations
+
+from ..core.rst import RST, StripePair
+from ..network.link import Link
+from ..simulate import Completion, FIFOResource, Simulator
+
+__all__ = ["MetaDataServer"]
+
+
+class MetaDataServer:
+    """Serves RST lookups with a small FIFO-queued latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rst: RST | None = None,
+        link: Link | None = None,
+        lookup_latency: float | None = None,
+    ) -> None:
+        self.sim = sim
+        self.rst = rst if rst is not None else RST()
+        if lookup_latency is None:
+            lookup_latency = 2 * (link.latency if link is not None else 0.05e-3)
+        self.lookup_latency = lookup_latency
+        self.channel = FIFOResource(sim, name="mds")
+        self.lookups = 0
+
+    def lookup(self, region: str) -> tuple[Completion, StripePair | None]:
+        """Queue one metadata lookup; returns (completion, stripe pair)."""
+        self.lookups += 1
+        pair = self.rst.get(region) if region in self.rst else None
+        return self.channel.submit(self.lookup_latency, tag=region), pair

@@ -1,0 +1,165 @@
+"""Trace replay: drive the PFS simulator with an application's requests.
+
+The paper's trace-driven experiments (§V-D) "replay the data accesses
+of the application according to the I/O trace": every rank issues its
+own requests synchronously (next request starts when the previous
+completes — the applications use synchronous read/write), and ranks
+run concurrently.  The replay engine reproduces exactly that, mapping
+each request through a *file view* — any object with
+``map_request(file, offset, length) -> list[SubRequest]``, i.e. a
+static layout table (DEF/AAL/HARL) or the MHA redirector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from ..cluster import ClusterSpec
+from ..layouts.base import SubRequest
+from ..tracing.collector import IOCollector
+from ..tracing.record import Trace
+from .system import HybridPFS
+
+__all__ = ["FileView", "RunMetrics", "replay_trace", "run_workload"]
+
+
+@runtime_checkable
+class FileView(Protocol):
+    """Anything that can resolve a file request into server fragments."""
+
+    def map_request(self, file: str, offset: int, length: int) -> list[SubRequest]:
+        """Fragments of ``[offset, offset+length)`` of ``file``."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class RunMetrics:
+    """Everything a replay measures."""
+
+    makespan: float
+    total_bytes: int
+    requests: int
+    per_server_busy: list[float]
+    per_server_bytes: list[int]
+    read_bytes: int
+    write_bytes: int
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def bandwidth(self) -> float:
+        """Aggregate bandwidth in bytes/second (the figures' metric)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_bytes / self.makespan
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def latency_percentile(self, q: float) -> float:
+        """Request-latency percentile (``q`` in [0, 100]).
+
+        Requires the replay to have been run with
+        ``keep_latencies=True``; returns 0.0 otherwise.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def p50_latency(self) -> float:
+        """Median request latency (0.0 unless latencies were kept)."""
+        return self.latency_percentile(50)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile request latency (tail; 0.0 unless kept)."""
+        return self.latency_percentile(99)
+
+    def load_imbalance(self) -> float:
+        """Max/min per-server I/O time over servers that did any work.
+
+        1.0 means perfectly even (the paper's Fig. 8 normalizes to the
+        minimum for the same reason).
+        """
+        active = [t for t in self.per_server_busy if t > 0]
+        if len(active) < 2:
+            return 1.0
+        return max(active) / min(active)
+
+
+def replay_trace(
+    pfs: HybridPFS,
+    view: FileView,
+    trace: Trace,
+    *,
+    keep_latencies: bool = False,
+    collector: IOCollector | None = None,
+) -> RunMetrics:
+    """Replay ``trace`` against ``pfs`` through ``view``.
+
+    Each rank's records are issued in timestamp order, one at a time;
+    ranks proceed independently and contend on the servers.  Returns
+    the metrics of this replay (server stats are reset first, so a
+    shared :class:`HybridPFS` can host several sequential replays).
+    """
+    pfs.reset_stats()
+    sim = pfs.sim
+    start_time = sim.now
+    latencies: list[float] = []
+    by_rank: dict[int, list] = {}
+    for record in trace.sorted_by_time():
+        by_rank.setdefault(record.rank, []).append(record)
+
+    def rank_process(records):
+        for record in records:
+            issued = sim.now
+            if collector is not None:
+                collector.record(
+                    rank=record.rank,
+                    op=record.op,
+                    offset=record.offset,
+                    size=record.size,
+                    file=record.file,
+                    timestamp=issued,
+                )
+            fragments = view.map_request(record.file, record.offset, record.size)
+            yield pfs.issue(record.op, fragments, rank=record.rank)
+            if keep_latencies:
+                latencies.append(sim.now - issued)
+
+    for rank in sorted(by_rank):
+        sim.spawn(rank_process(by_rank[rank]), name=f"rank{rank}")
+    sim.run()
+
+    read_bytes = sum(r.size for r in trace if r.op == "read")
+    write_bytes = sum(r.size for r in trace if r.op == "write")
+    return RunMetrics(
+        makespan=sim.now - start_time,
+        total_bytes=trace.total_bytes(),
+        requests=len(trace),
+        per_server_busy=pfs.per_server_busy(),
+        per_server_bytes=pfs.per_server_bytes(),
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        latencies=latencies,
+    )
+
+
+def run_workload(
+    spec: ClusterSpec,
+    view: FileView,
+    trace: Trace,
+    *,
+    keep_latencies: bool = False,
+) -> RunMetrics:
+    """Convenience: fresh simulator + PFS, one replay, return metrics."""
+    pfs = HybridPFS(spec)
+    return replay_trace(pfs, view, trace, keep_latencies=keep_latencies)

@@ -1,0 +1,169 @@
+"""Byte-accurate storage: the functional (data) half of the PFS.
+
+The replay engine answers *how long* I/O takes; this module answers
+*whether the bytes are right*.  Each server holds an
+:class:`ObjectStore` of sparse byte objects; a :class:`DataClient`
+moves real payloads through any layout or file view, splitting and
+reassembling per-server fragments exactly as a PFS client does.  The
+placement phase's data migration is :func:`migrate`: copy every DRT
+extent from the original file's layout into its region's layout.
+
+This is what makes redirection *testable end to end*: write a dataset
+through the original layout, run the MHA pipeline, migrate, then read
+through the redirector — the bytes must be identical.  (Timing and
+data are deliberately orthogonal: the replay engine simulates queueing
+without payloads, the data client moves payloads without a clock.
+Combine them as needed.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.drt import DRT
+from ..exceptions import SimulationError
+from ..layouts.base import Layout, SubRequest, check_tiling
+
+__all__ = ["ObjectStore", "DataClient", "migrate"]
+
+
+class ObjectStore:
+    """Sparse byte objects on one server; unwritten bytes read as zero."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, bytearray] = {}
+
+    def write(self, obj: str, offset: int, data: bytes) -> None:
+        """Store ``data`` at ``offset`` of object ``obj`` (grows it)."""
+        if offset < 0:
+            raise SimulationError(f"offset must be >= 0, got {offset}")
+        buf = self._objects.setdefault(obj, bytearray())
+        end = offset + len(data)
+        if len(buf) < end:
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = data
+
+    def read(self, obj: str, offset: int, length: int) -> bytes:
+        """Fetch ``length`` bytes at ``offset`` (zero-filled past EOF)."""
+        if offset < 0 or length < 0:
+            raise SimulationError("offset and length must be >= 0")
+        buf = self._objects.get(obj, b"")
+        chunk = bytes(buf[offset : offset + length])
+        if len(chunk) < length:
+            chunk += b"\x00" * (length - len(chunk))
+        return chunk
+
+    def size(self, obj: str) -> int:
+        """Highest written byte of ``obj`` (0 if never written)."""
+        return len(self._objects.get(obj, b""))
+
+    def objects(self) -> tuple[str, ...]:
+        """Names of the objects this store holds."""
+        return tuple(self._objects)
+
+    def used_bytes(self) -> int:
+        """Total stored bytes across objects."""
+        return sum(len(b) for b in self._objects.values())
+
+
+class DataClient:
+    """Moves payloads through layouts/views over per-server stores."""
+
+    def __init__(self, num_servers: int) -> None:
+        if num_servers <= 0:
+            raise SimulationError("num_servers must be >= 1")
+        self.stores = [ObjectStore() for _ in range(num_servers)]
+
+    # -- fragment-level plumbing -----------------------------------------
+
+    def _store(self, server: int) -> ObjectStore:
+        try:
+            return self.stores[server]
+        except IndexError:
+            raise SimulationError(
+                f"server {server} out of range 0..{len(self.stores) - 1}"
+            ) from None
+
+    def write_fragments(
+        self, fragments: Sequence[SubRequest], base: int, data: bytes
+    ) -> None:
+        """Scatter ``data`` (logical offset ``base``) per fragment."""
+        for frag in fragments:
+            lo = frag.logical_offset - base
+            self._store(frag.server).write(
+                frag.obj, frag.offset, data[lo : lo + frag.length]
+            )
+
+    def read_fragments(self, fragments: Sequence[SubRequest], base: int, length: int) -> bytes:
+        """Gather fragments back into one logical buffer."""
+        out = bytearray(length)
+        for frag in fragments:
+            lo = frag.logical_offset - base
+            out[lo : lo + frag.length] = self._store(frag.server).read(
+                frag.obj, frag.offset, frag.length
+            )
+        return bytes(out)
+
+    # -- layout- and view-level API ---------------------------------------
+
+    def write_layout(self, layout: Layout, offset: int, data: bytes) -> None:
+        """Write through a single layout (no redirection)."""
+        fragments = layout.map_extent(offset, len(data))
+        check_tiling(offset, len(data), fragments)
+        self.write_fragments(fragments, offset, data)
+
+    def read_layout(self, layout: Layout, offset: int, length: int) -> bytes:
+        """Read through a single layout (no redirection)."""
+        fragments = layout.map_extent(offset, length)
+        check_tiling(offset, length, fragments)
+        return self.read_fragments(fragments, offset, length)
+
+    def write(self, view, file: str, offset: int, data: bytes) -> None:
+        """Write through a file view (static layout or MHA redirector)."""
+        fragments = view.map_request(file, offset, len(data))
+        check_tiling(offset, len(data), fragments)
+        self.write_fragments(fragments, offset, data)
+
+    def read(self, view, file: str, offset: int, length: int) -> bytes:
+        """Read through a file view (static layout or MHA redirector)."""
+        fragments = view.map_request(file, offset, length)
+        check_tiling(offset, length, fragments)
+        return self.read_fragments(fragments, offset, length)
+
+    def used_bytes(self) -> int:
+        """Total bytes stored across every server."""
+        return sum(store.used_bytes() for store in self.stores)
+
+
+def migrate(
+    client: DataClient,
+    drt: DRT,
+    source_layouts: dict[str, Layout],
+    target_layouts: dict[str, Layout],
+) -> int:
+    """Execute the placement phase's data movement.
+
+    For every DRT entry, read the original extent through the source
+    file's layout and write it at the region offset through the
+    region's layout.  Entries are processed in ascending original
+    offset (one sequential sweep of each source file).  Returns the
+    number of bytes copied.
+    """
+    moved = 0
+    for entry in drt:
+        try:
+            source = source_layouts[entry.o_file]
+        except KeyError:
+            raise SimulationError(
+                f"no source layout for original file {entry.o_file!r}"
+            ) from None
+        try:
+            target = target_layouts[entry.r_file]
+        except KeyError:
+            raise SimulationError(
+                f"no target layout for region {entry.r_file!r}"
+            ) from None
+        data = client.read_layout(source, entry.o_offset, entry.length)
+        client.write_layout(target, entry.r_offset, data)
+        moved += entry.length
+    return moved

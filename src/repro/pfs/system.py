@@ -1,0 +1,135 @@
+"""The hybrid parallel file system: servers assembled from a cluster spec.
+
+:class:`HybridPFS` owns the simulator, the data servers (HServers with
+HDDs first, SServers with SSDs after, matching the cluster index
+convention) and the MDS.  Clients interact with it through
+:meth:`issue`: hand over the per-server fragments of one request and
+receive a completion that fires when the slowest fragment finishes —
+the defining latency semantics of striped parallel I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..cluster import ClusterSpec
+from ..devices.base import OpType
+from ..exceptions import SimulationError
+from ..layouts.base import SubRequest
+from ..simulate import Completion, FIFOResource, Simulator
+from .mds import MetaDataServer
+from .server import DataServer
+
+__all__ = ["HybridPFS", "merge_fragments"]
+
+
+def merge_fragments(fragments: Iterable[SubRequest]) -> list[SubRequest]:
+    """Coalesce fragments that are contiguous on the same server object.
+
+    A PFS client sends *one* sub-request per server covering all the
+    stripes it needs there (list I/O); under round-robin striping those
+    stripes are contiguous in the server object even though they
+    interleave logically, so the merged run is what the server's disk
+    actually sees.  Merging is order-preserving per server and requires
+    contiguity in the *server object's* address space; the merged run
+    keeps the logical offset of its first stripe.
+    """
+    merged: dict[tuple[int, str], list[SubRequest]] = {}
+    for frag in fragments:
+        key = (frag.server, frag.obj)
+        runs = merged.setdefault(key, [])
+        if runs and runs[-1].offset + runs[-1].length == frag.offset:
+            last = runs[-1]
+            runs[-1] = SubRequest(
+                server=last.server,
+                obj=last.obj,
+                offset=last.offset,
+                length=last.length + frag.length,
+                logical_offset=last.logical_offset,
+            )
+        else:
+            runs.append(frag)
+    out: list[SubRequest] = []
+    for runs in merged.values():
+        out.extend(runs)
+    out.sort(key=lambda f: f.logical_offset)
+    return out
+
+
+class HybridPFS:
+    """A simulated hybrid parallel file system."""
+
+    def __init__(self, spec: ClusterSpec, sim: Simulator | None = None) -> None:
+        self.spec = spec
+        self.sim = sim if sim is not None else Simulator()
+        self.servers: list[DataServer] = []
+        for idx in spec.hserver_ids:
+            self.servers.append(
+                DataServer(self.sim, idx, spec.hdd, spec.link, name=f"h{idx}")
+            )
+        for idx in spec.sserver_ids:
+            self.servers.append(
+                DataServer(self.sim, idx, spec.ssd, spec.link, name=f"s{idx}")
+            )
+        self.mds = MetaDataServer(self.sim, link=spec.link)
+        # compute-node NICs (optional): one serialized link per node
+        self.client_links: list[FIFOResource] | None = None
+        if spec.model_client_nics:
+            self.client_links = [
+                FIFOResource(self.sim, name=f"client{i}.nic")
+                for i in range(spec.num_clients)
+            ]
+
+    def server(self, index: int) -> DataServer:
+        """The data server at cluster index ``index``."""
+        try:
+            return self.servers[index]
+        except IndexError:
+            raise SimulationError(
+                f"server index {index} out of range 0..{len(self.servers) - 1}"
+            ) from None
+
+    def issue(
+        self, op: OpType, fragments: Sequence[SubRequest], rank: int | None = None
+    ) -> Completion:
+        """Issue one file request given its mapped fragments.
+
+        Fragments are merged per server object, enqueued on their
+        servers, and the returned completion fires when the **slowest**
+        sub-request completes.  When client-NIC modelling is enabled
+        and ``rank`` is given, the issuing compute node's link first
+        serializes the request's payload (ranks map round-robin onto
+        the cluster's client nodes), so co-located ranks contend.
+        """
+        merged = merge_fragments(fragments)
+        if not merged:
+            done = Completion()
+            done.fire(None)
+            return done
+        not_before = 0.0
+        if self.client_links is not None and rank is not None:
+            node = self.client_links[rank % len(self.client_links)]
+            total = sum(f.length for f in merged)
+            record, _ = node.schedule(self.spec.link.transfer_time(total))
+            not_before = record.finish
+        completions = [
+            self.server(f.server).submit(
+                op, f.obj, f.offset, f.length, not_before=not_before
+            )
+            for f in merged
+        ]
+        return self.sim.all_of(completions)
+
+    # -- statistics ------------------------------------------------------
+
+    def per_server_busy(self) -> list[float]:
+        """Each server's accumulated I/O (service) time, by index."""
+        return [srv.busy_time for srv in self.servers]
+
+    def per_server_bytes(self) -> list[int]:
+        """Bytes moved per server, by index."""
+        return [srv.stats.total_bytes for srv in self.servers]
+
+    def reset_stats(self) -> None:
+        for srv in self.servers:
+            srv.reset_stats()

@@ -1,0 +1,22 @@
+"""Layout schemes: DEF, AAL, HARL (baselines) and MHA (the contribution)."""
+
+from .aal import AALScheme
+from .base import LayoutView, Scheme
+from .default import DEFAULT_STRIPE, DEFScheme
+from .harl import HARLScheme
+from .mha import MHAScheme
+from .registry import SCHEMES, build_view, make_scheme, scheme_names
+
+__all__ = [
+    "Scheme",
+    "LayoutView",
+    "DEFScheme",
+    "DEFAULT_STRIPE",
+    "AALScheme",
+    "HARLScheme",
+    "MHAScheme",
+    "SCHEMES",
+    "make_scheme",
+    "build_view",
+    "scheme_names",
+]

@@ -1,0 +1,44 @@
+"""Scheme registry: look schemes up by the names the paper's figures use."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cluster import ClusterSpec
+from ..exceptions import ConfigurationError
+from ..tracing.record import Trace
+from .aal import AALScheme
+from .base import Scheme
+from .default import DEFScheme
+from .harl import HARLScheme
+from .mha import MHAScheme
+
+__all__ = ["SCHEMES", "make_scheme", "build_view", "scheme_names"]
+
+SCHEMES: dict[str, Callable[..., Scheme]] = {
+    "DEF": DEFScheme,
+    "AAL": AALScheme,
+    "HARL": HARLScheme,
+    "MHA": MHAScheme,
+}
+
+
+def scheme_names() -> tuple[str, ...]:
+    """The comparison order used throughout the paper's figures."""
+    return ("DEF", "AAL", "HARL", "MHA")
+
+
+def make_scheme(name: str, **kwargs) -> Scheme:
+    """Instantiate a scheme by name (case-insensitive)."""
+    try:
+        factory = SCHEMES[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def build_view(name: str, spec: ClusterSpec, trace: Trace, **kwargs):
+    """One-shot: instantiate scheme ``name`` and build its file view."""
+    return make_scheme(name, **kwargs).build(spec, trace)

@@ -1,0 +1,19 @@
+"""Deterministic discrete-event simulation engine (substrate).
+
+See :mod:`repro.simulate.engine` for the event loop and process model
+and :mod:`repro.simulate.resources` for FIFO queueing resources.
+"""
+
+from .engine import AllOf, Completion, Event, Process, Simulator, Waitable
+from .resources import FIFOResource, ServiceRecord
+
+__all__ = [
+    "AllOf",
+    "Completion",
+    "Event",
+    "Process",
+    "Simulator",
+    "Waitable",
+    "FIFOResource",
+    "ServiceRecord",
+]

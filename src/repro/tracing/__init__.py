@@ -1,0 +1,31 @@
+"""I/O tracing substrate (the paper's IOSIG role)."""
+
+from .analysis import (
+    Phase,
+    TraceStats,
+    burst_clusters,
+    burst_ids_of,
+    concurrency_of,
+    split_phases,
+    trace_statistics,
+)
+from .collector import IOCollector
+from .record import Trace, TraceRecord
+from .tracefile import load_trace, load_trace_dir, save_trace, save_trace_per_rank
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "IOCollector",
+    "Phase",
+    "TraceStats",
+    "split_phases",
+    "concurrency_of",
+    "burst_clusters",
+    "burst_ids_of",
+    "trace_statistics",
+    "save_trace",
+    "load_trace",
+    "save_trace_per_rank",
+    "load_trace_dir",
+]

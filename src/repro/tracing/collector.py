@@ -1,0 +1,81 @@
+"""The I/O Collector — the tracing phase of the MHA workflow.
+
+Plays the role of IOSIG (§III-C): a pluggable observer that the
+simulated MPI-IO layer notifies on every file operation.  It assigns
+timestamps from the simulated clock (or a caller-supplied clock
+function) and can emit its records as a sorted :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..devices.base import OpType
+from .record import Trace, TraceRecord
+
+__all__ = ["IOCollector"]
+
+
+class IOCollector:
+    """Accumulates :class:`TraceRecord` instances during a profiled run.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time; defaults to
+        a monotone counter so records are orderable even without a
+        simulator attached.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._records: list[TraceRecord] = []
+        self._auto_time = 0.0
+        self._clock = clock
+        self.enabled = True
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        self._auto_time += 1.0
+        return self._auto_time
+
+    def record(
+        self,
+        *,
+        rank: int,
+        op: OpType,
+        offset: int,
+        size: int,
+        file: str = "file",
+        pid: int | None = None,
+        fd: int = 0,
+        timestamp: float | None = None,
+    ) -> TraceRecord:
+        """Record one file operation (no-op when disabled)."""
+        rec = TraceRecord(
+            offset=offset,
+            timestamp=self._now() if timestamp is None else timestamp,
+            rank=rank,
+            pid=rank if pid is None else pid,
+            fd=fd,
+            file=file,
+            op=op,
+            size=size,
+        )
+        if self.enabled:
+            self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self._records.clear()
+        self._auto_time = 0.0
+
+    def trace(self, sort_by_offset: bool = True) -> Trace:
+        """The collected records as a trace (offset-sorted by default,
+        matching the §III-C post-processing)."""
+        trace = Trace(self._records)
+        return trace.sorted_by_offset() if sort_by_offset else trace

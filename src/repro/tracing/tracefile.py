@@ -1,0 +1,97 @@
+"""Trace persistence — IOSIG writes "several trace files"; so do we.
+
+The on-disk format is a plain CSV with a header line, one record per
+row, chosen for longevity and diff-ability over pickles.  A trace can
+be saved as a single file or split per rank like IOSIG does.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from ..exceptions import TraceError
+from .record import Trace, TraceRecord
+
+__all__ = ["save_trace", "load_trace", "save_trace_per_rank", "load_trace_dir"]
+
+_FIELDS = ["pid", "rank", "fd", "file", "op", "offset", "size", "timestamp"]
+
+
+def _write_rows(fh: io.TextIOBase, records: Iterable[TraceRecord]) -> None:
+    writer = csv.writer(fh)
+    writer.writerow(_FIELDS)
+    for r in records:
+        writer.writerow(
+            [r.pid, r.rank, r.fd, r.file, r.op, r.offset, r.size, repr(r.timestamp)]
+        )
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace to one CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        _write_rows(fh, trace)
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace from a CSV file written by :func:`save_trace`."""
+    path = Path(path)
+    records: list[TraceRecord] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TraceError(f"{path}: empty trace file") from None
+        if header != _FIELDS:
+            raise TraceError(f"{path}: unexpected header {header!r}")
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != len(_FIELDS):
+                raise TraceError(f"{path}:{lineno}: expected {len(_FIELDS)} fields")
+            try:
+                records.append(
+                    TraceRecord(
+                        pid=int(row[0]),
+                        rank=int(row[1]),
+                        fd=int(row[2]),
+                        file=row[3],
+                        op=row[4],
+                        offset=int(row[5]),
+                        size=int(row[6]),
+                        timestamp=float(row[7]),
+                    )
+                )
+            except (ValueError, TraceError) as exc:
+                raise TraceError(f"{path}:{lineno}: bad record: {exc}") from exc
+    return Trace(records)
+
+
+def save_trace_per_rank(trace: Trace, directory: str | Path, stem: str = "trace") -> list[Path]:
+    """Split a trace by rank into ``{stem}.rank{N}.csv`` files.
+
+    Mirrors IOSIG's per-process trace files.  Returns the paths written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for rank in trace.ranks():
+        sub = Trace(r for r in trace if r.rank == rank)
+        path = directory / f"{stem}.rank{rank}.csv"
+        save_trace(sub, path)
+        paths.append(path)
+    return paths
+
+
+def load_trace_dir(directory: str | Path, stem: str = "trace") -> Trace:
+    """Re-assemble a per-rank trace directory into one offset-sorted trace."""
+    directory = Path(directory)
+    records: list[TraceRecord] = []
+    paths = sorted(directory.glob(f"{stem}.rank*.csv"))
+    if not paths:
+        raise TraceError(f"no {stem}.rank*.csv files under {directory}")
+    for path in paths:
+        records.extend(load_trace(path))
+    return Trace(records).sorted_by_offset()

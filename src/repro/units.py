@@ -1,0 +1,112 @@
+"""Byte-size and time-unit helpers used throughout the library.
+
+The paper quotes sizes in the binary convention ("64KB" stripes mean
+65536 bytes), so :func:`parse_size` follows the binary interpretation
+for the ``KB``/``MB``/``GB`` suffixes, matching what OrangeFS and the
+IOR benchmark mean by those strings.  All simulated times are plain
+floats in seconds.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "parse_size",
+    "format_size",
+    "format_bandwidth",
+    "format_time",
+]
+
+#: one kibibyte in bytes
+KiB: int = 1024
+#: one mebibyte in bytes
+MiB: int = 1024 * KiB
+#: one gibibyte in bytes
+GiB: int = 1024 * MiB
+
+_SIZE_RE = re.compile(
+    r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([KMGT]i?B?|B)?\s*$", re.IGNORECASE
+)
+
+_MULTIPLIERS = {
+    None: 1,
+    "B": 1,
+    "K": KiB,
+    "M": MiB,
+    "G": GiB,
+    "T": 1024 * GiB,
+}
+
+
+def parse_size(value: int | float | str) -> int:
+    """Parse a human-readable size into a byte count.
+
+    Accepts plain integers (returned unchanged), floats (rounded), and
+    strings such as ``"64KB"``, ``"4 KiB"``, ``"1.5MB"`` or ``"512"``.
+    Suffixes are interpreted in the binary convention used by the paper
+    (``64KB`` == 65536 bytes).
+
+    >>> parse_size("64KB")
+    65536
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(value, bool):  # bool is an int subclass; reject it
+        raise TypeError("size must be an int, float or str, not bool")
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(f"size must be non-negative, got {value}")
+        return value
+    if isinstance(value, float):
+        if value < 0:
+            raise ValueError(f"size must be non-negative, got {value}")
+        return int(round(value))
+    if not isinstance(value, str):
+        raise TypeError(f"size must be an int, float or str, got {type(value)!r}")
+    m = _SIZE_RE.match(value)
+    if m is None:
+        raise ValueError(f"unparseable size string: {value!r}")
+    number = float(m.group(1))
+    suffix = m.group(2)
+    key = None if suffix is None else suffix[0].upper()
+    if key == "B":
+        key = "B"
+    mult = _MULTIPLIERS[key]
+    return int(round(number * mult))
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count with the largest whole binary unit.
+
+    >>> format_size(65536)
+    '64KiB'
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    for unit, width in (("TiB", 1024 * GiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if nbytes >= width:
+            value = nbytes / width
+            if value == int(value):
+                return f"{int(value)}{unit}"
+            return f"{value:.2f}{unit}"
+    return f"{nbytes}B"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Format a bandwidth in MiB/s, the unit the paper's figures use."""
+    return f"{bytes_per_second / MiB:.2f} MiB/s"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an appropriate unit (s / ms / us)."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"

@@ -1,0 +1,87 @@
+"""Workload-generation helpers shared by every benchmark/application model.
+
+A workload emits a :class:`~repro.tracing.record.Trace`.  Generators
+structure time as **phases**: within a phase every participating rank
+issues one request "simultaneously" (timestamps a hair apart so
+ordering stays deterministic), and consecutive phases are separated by
+a gap far larger than the phase-detection threshold — which is exactly
+how bulk-synchronous HPC applications behave and what makes the
+concurrency feature recoverable from the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices.base import OpType
+from ..tracing.record import Trace, TraceRecord
+
+__all__ = ["TraceBuilder", "PHASE_GAP", "Workload"]
+
+#: inter-phase time gap (trace time units); >> the analysis gap of 0.5
+PHASE_GAP = 10.0
+#: intra-phase stagger between ranks, small enough to stay in one phase
+_RANK_STAGGER = 1e-4
+
+
+@dataclass
+class TraceBuilder:
+    """Accumulates records phase by phase."""
+
+    file: str = "file"
+    records: list[TraceRecord] = field(default_factory=list)
+    _phase: int = 0
+
+    def add(
+        self,
+        rank: int,
+        op: OpType,
+        offset: int,
+        size: int,
+        *,
+        phase: int | None = None,
+        file: str | None = None,
+    ) -> None:
+        """Record one request in the given (or current) phase."""
+        phase_idx = self._phase if phase is None else phase
+        self.records.append(
+            TraceRecord(
+                offset=offset,
+                timestamp=phase_idx * PHASE_GAP + rank * _RANK_STAGGER,
+                rank=rank,
+                pid=rank,
+                file=self.file if file is None else file,
+                op=op,
+                size=size,
+            )
+        )
+
+    def next_phase(self) -> int:
+        """Advance to the next phase; returns the new phase index."""
+        self._phase += 1
+        return self._phase
+
+    @property
+    def phase(self) -> int:
+        return self._phase
+
+    def build(self, sort_by_offset: bool = False) -> Trace:
+        """The accumulated trace (issue order by default)."""
+        trace = Trace(self.records)
+        return trace.sorted_by_offset() if sort_by_offset else trace
+
+
+class Workload:
+    """Base class for workload generators.
+
+    Subclasses implement :meth:`trace` returning the request stream of
+    one run.  ``name`` identifies the workload in reports.
+    """
+
+    name: str = "workload"
+
+    def trace(self, op: OpType = "write") -> Trace:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,102 @@
+"""Checkpoint/restart workload — the classic HPC pattern MHA targets.
+
+Not one of the paper's named benchmarks, but the access pattern its
+introduction motivates: applications that periodically dump state
+(large sequential writes preceded by small metadata/header writes) and
+occasionally restart (reading the newest checkpoint back).  The
+header/payload size split makes it heterogeneous in exactly MHA's
+sense; the restart phase adds a read/write op mix.
+"""
+
+from __future__ import annotations
+
+from ..devices.base import READ, WRITE
+from ..exceptions import ConfigurationError
+from ..tracing.record import Trace
+from ..units import KiB, MiB
+from .base import TraceBuilder, Workload
+
+__all__ = ["CheckpointWorkload"]
+
+
+class CheckpointWorkload(Workload):
+    """Periodic checkpoints plus an optional restart read-back.
+
+    Parameters
+    ----------
+    num_processes:
+        Ranks writing to the shared checkpoint file.
+    checkpoints:
+        Number of checkpoint epochs.
+    header_size / payload_size:
+        Per-rank metadata header and state dump per epoch.
+    restart:
+        Whether a restart phase (re-reading the final checkpoint)
+        follows the writes.
+    """
+
+    name = "checkpoint"
+
+    def __init__(
+        self,
+        num_processes: int = 8,
+        checkpoints: int = 16,
+        header_size: int = 512,
+        payload_size: int = 1 * MiB,
+        restart: bool = True,
+        file: str = "checkpoint.dat",
+    ) -> None:
+        if num_processes <= 0 or checkpoints <= 0:
+            raise ConfigurationError("num_processes and checkpoints must be >= 1")
+        if header_size <= 0 or payload_size <= 0:
+            raise ConfigurationError("header and payload sizes must be > 0")
+        self.num_processes = num_processes
+        self.checkpoints = checkpoints
+        self.header_size = header_size
+        self.payload_size = payload_size
+        self.restart = restart
+        self.file = file
+
+    @property
+    def epoch_bytes(self) -> int:
+        """Bytes one rank writes per checkpoint epoch."""
+        return self.header_size + self.payload_size
+
+    @property
+    def area_size(self) -> int:
+        """Bytes of the file owned by one rank."""
+        return self.checkpoints * self.epoch_bytes
+
+    def _offset(self, rank: int, epoch: int) -> int:
+        return rank * self.area_size + epoch * self.epoch_bytes
+
+    def trace(self, op: str | None = None) -> Trace:
+        """The full write(+restart-read) trace; ``op`` filters one type."""
+        builder = TraceBuilder(file=self.file)
+        phase = 0
+        if op in (None, WRITE):
+            for epoch in range(self.checkpoints):
+                for rank in range(self.num_processes):
+                    base = self._offset(rank, epoch)
+                    builder.add(rank, WRITE, base, self.header_size, phase=phase)
+                    builder.add(
+                        rank,
+                        WRITE,
+                        base + self.header_size,
+                        self.payload_size,
+                        phase=phase + 1,
+                    )
+                phase += 2
+        if self.restart and op in (None, READ):
+            last = self.checkpoints - 1
+            for rank in range(self.num_processes):
+                base = self._offset(rank, last)
+                builder.add(rank, READ, base, self.header_size, phase=phase)
+                builder.add(
+                    rank,
+                    READ,
+                    base + self.header_size,
+                    self.payload_size,
+                    phase=phase + 1,
+                )
+        return builder.build()

@@ -1,0 +1,186 @@
+"""Tests for Algorithm 2 (RSSD stripe-size determination)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import CostModelParams, determine_stripes, search_bounds
+from repro.core.determinator import BOUND_THRESHOLD_UNIT
+from repro.exceptions import ConfigurationError
+from repro.units import KiB
+
+
+@pytest.fixture
+def params():
+    return CostModelParams.from_cluster(ClusterSpec())
+
+
+def uniform_requests(size, count=16, conc=8):
+    offsets = np.arange(count, dtype=np.int64) * size
+    lengths = np.full(count, size, dtype=np.int64)
+    is_read = np.zeros(count, dtype=bool)
+    concurrency = np.full(count, conc, dtype=np.int64)
+    return offsets, lengths, is_read, concurrency
+
+
+class TestSearchBounds:
+    def test_small_rmax_uses_rmax(self, params):
+        b_h, b_s = search_bounds(params, 64 * KiB, 32 * KiB, 4 * KiB, "adaptive")
+        assert b_h == b_s == 64 * KiB
+
+    def test_large_rmax_divides_by_server_counts(self, params):
+        r_max = (params.M + params.N) * BOUND_THRESHOLD_UNIT
+        b_h, b_s = search_bounds(params, r_max, 0, 4 * KiB, "adaptive")
+        assert b_h == r_max // params.M
+        assert b_s == r_max // params.N
+
+    def test_average_policy(self, params):
+        b_h, b_s = search_bounds(params, 512 * KiB, 100 * KiB, 4 * KiB, "average")
+        assert b_h == b_s == 100 * KiB
+
+    def test_tiny_requests_keep_one_candidate(self, params):
+        b_h, b_s = search_bounds(params, 16, 16, 4 * KiB, "adaptive")
+        assert b_s >= 4 * KiB
+
+    def test_unknown_policy(self, params):
+        with pytest.raises(ConfigurationError):
+            search_bounds(params, 64 * KiB, 1, 4 * KiB, "magic")
+
+
+class TestDetermineStripes:
+    def test_decision_within_bounds(self, params):
+        decision = determine_stripes(params, *uniform_requests(128 * KiB))
+        assert 0 <= decision.h <= decision.bound_h
+        assert decision.s <= decision.bound_s
+        assert decision.s >= decision.h  # s >= h invariant
+        assert decision.cost > 0
+        assert decision.candidates > 0
+
+    def test_small_requests_prefer_sservers(self, params):
+        decision = determine_stripes(params, *uniform_requests(16 * KiB, conc=8))
+        # tiny requests: HServer startups dominate, so h should be 0
+        assert decision.h == 0
+
+    def test_large_requests_use_hservers(self, params):
+        decision = determine_stripes(params, *uniform_requests(512 * KiB, conc=8))
+        assert decision.h > 0
+
+    def test_h_zero_can_be_disallowed(self, params):
+        decision = determine_stripes(
+            params, *uniform_requests(16 * KiB), allow_h_zero=False
+        )
+        assert decision.h > 0
+
+    def test_strict_paper_loop(self, params):
+        decision = determine_stripes(
+            params, *uniform_requests(128 * KiB), allow_equal_stripes=False
+        )
+        assert decision.s > decision.h
+
+    def test_step_respected(self, params):
+        decision = determine_stripes(params, *uniform_requests(96 * KiB), step=8 * KiB)
+        assert decision.h % (8 * KiB) == 0
+        assert decision.s % (8 * KiB) == 0
+
+    def test_no_sservers_cluster(self):
+        params = CostModelParams.from_cluster(ClusterSpec(num_sservers=0))
+        decision = determine_stripes(params, *uniform_requests(64 * KiB))
+        assert decision.s == 0 and decision.h > 0
+
+    def test_no_hservers_cluster(self):
+        params = CostModelParams.from_cluster(
+            ClusterSpec(num_hservers=0, num_sservers=2)
+        )
+        decision = determine_stripes(params, *uniform_requests(64 * KiB))
+        assert decision.h == 0 and decision.s > 0
+
+    def test_axis_cap_coarsens_grid(self, params):
+        offsets, lengths, is_read, conc = uniform_requests(4 * 1024 * KiB, count=4)
+        decision = determine_stripes(
+            params, offsets, lengths, is_read, conc, max_axis_candidates=8
+        )
+        assert decision.candidates <= (8 + 1) * (8 + 1)
+
+    def test_burst_mode_matches_concurrency_mode_for_singletons(self, params):
+        offsets, lengths, is_read, conc = uniform_requests(64 * KiB, count=6, conc=1)
+        bursts = np.arange(6)
+        a = determine_stripes(params, offsets, lengths, is_read, conc)
+        b = determine_stripes(
+            params, offsets, lengths, is_read, conc, burst_ids=bursts
+        )
+        # singleton bursts reduce to Eq. 2: both searches agree
+        assert a.pair == b.pair
+
+    def test_burst_sampling_deterministic(self, params):
+        count = 64
+        offsets = np.arange(count, dtype=np.int64) * 64 * KiB
+        lengths = np.full(count, 64 * KiB, dtype=np.int64)
+        is_read = np.zeros(count, dtype=bool)
+        conc = np.full(count, 4, dtype=np.int64)
+        bursts = np.repeat(np.arange(16), 4)
+        a = determine_stripes(
+            params, offsets, lengths, is_read, conc,
+            burst_ids=bursts, max_eval_requests=4, seed=3,
+        )
+        b = determine_stripes(
+            params, offsets, lengths, is_read, conc,
+            burst_ids=bursts, max_eval_requests=4, seed=3,
+        )
+        assert a.pair == b.pair and a.cost == b.cost
+
+    def test_empty_region_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            determine_stripes(
+                params,
+                np.array([], dtype=np.int64),
+                np.array([], dtype=np.int64),
+                np.array([], dtype=bool),
+                np.array([], dtype=np.int64),
+            )
+
+    def test_bad_shapes_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            determine_stripes(
+                params,
+                np.array([0]),
+                np.array([1, 2]),
+                np.array([True]),
+                np.array([1]),
+            )
+
+    def test_zero_length_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            determine_stripes(
+                params,
+                np.array([0]),
+                np.array([0]),
+                np.array([True]),
+                np.array([1]),
+            )
+
+    def test_mismatched_burst_ids_rejected(self, params):
+        offsets, lengths, is_read, conc = uniform_requests(64 * KiB, count=4)
+        with pytest.raises(ConfigurationError):
+            determine_stripes(
+                params, offsets, lengths, is_read, conc, burst_ids=np.array([1, 2])
+            )
+
+    def test_decision_is_grid_optimal(self, params):
+        """The returned pair truly minimizes Reg_cost over the grid."""
+        from repro.core.cost_model import burst_costs
+
+        offsets, lengths, is_read, conc = uniform_requests(64 * KiB, count=8, conc=4)
+        bursts = np.repeat(np.arange(2), 4)
+        decision = determine_stripes(
+            params, offsets, lengths, is_read, conc,
+            burst_ids=bursts, step=16 * KiB,
+        )
+        step = 16 * KiB
+        best = np.inf
+        for h in range(0, decision.bound_h + 1, step):
+            for s in range(max(h, step), decision.bound_s + 1, step):
+                cost = burst_costs(
+                    params, offsets, lengths, is_read, bursts, h, s
+                ).sum()
+                best = min(best, cost)
+        assert decision.cost == pytest.approx(best)

@@ -1,0 +1,154 @@
+"""Tests for the Data Reordering Table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DRT, DRTEntry, ENTRY_NUMERIC_BYTES
+from repro.exceptions import RedirectionError
+
+
+def entry(o_offset, length, r_offset, o_file="f", r_file="f.region0"):
+    return DRTEntry(
+        o_file=o_file, o_offset=o_offset, length=length, r_file=r_file, r_offset=r_offset
+    )
+
+
+class TestEntries:
+    def test_o_end(self):
+        assert entry(100, 50, 0).o_end == 150
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(RedirectionError):
+            entry(0, 0, 0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(RedirectionError):
+            entry(-1, 10, 0)
+
+    def test_overlapping_entries_rejected(self):
+        drt = DRT()
+        drt.add(entry(0, 100, 0))
+        with pytest.raises(RedirectionError):
+            drt.add(entry(50, 100, 200))
+
+    def test_overlap_with_following_rejected(self):
+        drt = DRT()
+        drt.add(entry(100, 100, 0))
+        with pytest.raises(RedirectionError):
+            drt.add(entry(50, 100, 200))
+
+    def test_adjacent_entries_allowed(self):
+        drt = DRT()
+        drt.add(entry(0, 100, 0))
+        drt.add(entry(100, 100, 100))
+        assert len(drt) == 2
+
+
+class TestTranslate:
+    def make(self):
+        drt = DRT()
+        drt.add(entry(0, 100, 1000, r_file="rA"))
+        drt.add(entry(200, 100, 0, r_file="rB"))
+        return drt
+
+    def test_fully_mapped(self):
+        drt = self.make()
+        out = drt.translate("f", 10, 50)
+        assert len(out) == 1
+        e = out[0]
+        assert e.mapped and e.file == "rA" and e.offset == 1010 and e.length == 50
+
+    def test_unmapped_gap(self):
+        drt = self.make()
+        out = drt.translate("f", 100, 100)
+        assert len(out) == 1
+        assert not out[0].mapped and out[0].file == "f" and out[0].offset == 100
+
+    def test_mixed_translation_tiles(self):
+        drt = self.make()
+        out = drt.translate("f", 50, 200)  # mapped, gap, mapped
+        assert [e.mapped for e in out] == [True, False, True]
+        cursor = 50
+        for e in out:
+            assert e.logical_offset == cursor
+            cursor += e.length
+        assert cursor == 250
+
+    def test_unknown_file_falls_through(self):
+        drt = self.make()
+        out = drt.translate("other", 0, 10)
+        assert len(out) == 1 and not out[0].mapped
+
+    def test_zero_length(self):
+        assert self.make().translate("f", 0, 0) == []
+
+    def test_entry_at(self):
+        drt = self.make()
+        assert drt.entry_at("f", 50).r_file == "rA"
+        assert drt.entry_at("f", 150) is None
+        assert drt.entry_at("nope", 0) is None
+
+    def test_numeric_bytes_sizing(self):
+        drt = self.make()
+        assert drt.numeric_bytes() == 2 * ENTRY_NUMERIC_BYTES
+
+    def test_space_overhead_bound(self):
+        """§V-E2: with 4 KB requests, one 24-byte entry per 4096 bytes
+        is a ~0.6% metadata overhead."""
+        assert ENTRY_NUMERIC_BYTES / 4096 == pytest.approx(0.006, abs=3e-4)
+
+
+class TestPersistence:
+    def test_reload(self, tmp_path):
+        path = tmp_path / "drt.db"
+        with DRT(path) as drt:
+            drt.add(entry(0, 100, 500))
+            drt.add(entry(300, 50, 0, r_file="rB"))
+        with DRT(path) as drt:
+            assert len(drt) == 2
+            out = drt.translate("f", 0, 100)
+            assert out[0].file == "f.region0" and out[0].offset == 500
+
+    def test_iteration_sorted(self, tmp_path):
+        drt = DRT()
+        drt.add(entry(200, 10, 0))
+        drt.add(entry(0, 10, 10))
+        offsets = [e.o_offset for e in drt]
+        assert offsets == [0, 200]
+
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20),
+        probe=st.tuples(
+            st.integers(min_value=0, max_value=1200),
+            st.integers(min_value=0, max_value=300),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_translation_tiles_and_roundtrips(self, lengths, probe):
+        """Contiguous entries with shuffled targets: translate() tiles
+        every probe extent and maps bytes consistently."""
+        drt = DRT()
+        cursor = 0
+        byte_map = {}
+        for i, length in enumerate(lengths):
+            r_file = f"region{i % 3}"
+            r_offset = 10_000 * i
+            drt.add(entry(cursor, length, r_offset, r_file=r_file))
+            for b in range(length):
+                byte_map[cursor + b] = (r_file, r_offset + b)
+            cursor += length
+        start, length = probe
+        out = drt.translate("f", start, length)
+        pos = start
+        for e in out:
+            assert e.logical_offset == pos
+            for b in range(e.length):
+                logical = pos + b
+                if logical in byte_map:
+                    assert e.mapped
+                    assert byte_map[logical] == (e.file, e.offset + b)
+                else:
+                    assert not e.mapped
+            pos += e.length
+        assert pos == start + length

@@ -1,0 +1,114 @@
+"""Tests for Algorithm 1 (iterative request grouping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FeatureSet, group_requests, suggest_k
+from repro.core.features import _spread
+from repro.exceptions import ConfigurationError
+
+
+def features_from(points):
+    pts = np.asarray(points, dtype=np.float64)
+    return FeatureSet(points=pts, spread=_spread(pts))
+
+
+class TestGroupRequests:
+    def test_two_obvious_clusters(self):
+        pts = [[16, 8]] * 5 + [[131072, 8]] * 5
+        result = group_requests(features_from(pts), k=2, seed=0)
+        assert result.k == 2
+        labels = result.labels
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_every_request_assigned(self):
+        pts = np.random.default_rng(0).uniform(0, 1000, size=(40, 2))
+        result = group_requests(features_from(pts), k=4, seed=1)
+        assert result.labels.shape == (40,)
+        assert set(result.labels) == set(range(result.k))
+
+    def test_groups_nonempty(self):
+        pts = np.random.default_rng(1).uniform(0, 100, size=(30, 2))
+        result = group_requests(features_from(pts), k=8, seed=2)
+        assert (result.group_sizes() > 0).all()
+
+    def test_n_leq_k_gives_singleton_groups(self):
+        pts = [[10, 1], [20, 2], [30, 3]]
+        result = group_requests(features_from(pts), k=5, seed=0)
+        assert result.k == 3
+        assert sorted(result.labels) == [0, 1, 2]
+
+    def test_iteration_cap_is_three(self):
+        pts = np.random.default_rng(3).uniform(0, 1000, size=(200, 2))
+        result = group_requests(features_from(pts), k=6, seed=0)
+        assert result.iterations <= 3
+
+    def test_deterministic_under_seed(self):
+        pts = np.random.default_rng(4).uniform(0, 1000, size=(50, 2))
+        a = group_requests(features_from(pts), k=4, seed=7)
+        b = group_requests(features_from(pts), k=4, seed=7)
+        assert (a.labels == b.labels).all()
+
+    def test_empty_features(self):
+        result = group_requests(features_from(np.zeros((0, 2))), k=3)
+        assert result.k == 0 and len(result.labels) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            group_requests(features_from([[1, 1]]), k=0)
+
+    def test_members(self):
+        pts = [[1, 1]] * 3 + [[100, 100]] * 2
+        result = group_requests(features_from(pts), k=2, seed=0)
+        g_of_first = result.labels[0]
+        assert set(result.members(g_of_first)) == {0, 1, 2}
+
+    def test_normalization_matters(self):
+        # sizes differ by 1000x, concurrency by 2x: without Eq. 1
+        # normalization concurrency would be invisible
+        pts = [[1000, 1], [1000, 100], [2000, 1], [2000, 100]]
+        result = group_requests(features_from(pts), k=2, seed=0)
+        # clusters split on one axis consistently, never mixing both
+        assert result.k == 2
+
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_hold_for_random_inputs(self, n, k, seed):
+        pts = np.random.default_rng(seed).uniform(0, 1e6, size=(n, 2))
+        result = group_requests(features_from(pts), k=k, seed=seed)
+        assert result.labels.shape == (n,)
+        assert result.k >= 1
+        assert result.labels.max() < result.k
+        assert (result.group_sizes() > 0).all()
+        # centers inside the data bounding box (means of members)
+        if n > k:
+            lo, hi = pts.min(axis=0), pts.max(axis=0)
+            assert (result.centers >= lo - 1e-9).all()
+            assert (result.centers <= hi + 1e-9).all()
+
+
+class TestSuggestK:
+    def test_bounded_by_max_groups(self):
+        assert suggest_k(1000, distinct_patterns=100, max_groups=16) == 16
+
+    def test_bounded_by_distinct_patterns(self):
+        assert suggest_k(1000, distinct_patterns=3, max_groups=16) == 3
+
+    def test_bounded_by_request_count(self):
+        assert suggest_k(2, distinct_patterns=10, max_groups=16) == 2
+
+    def test_at_least_one(self):
+        assert suggest_k(0, distinct_patterns=0) == 1
+        assert suggest_k(5, distinct_patterns=0) == 1
+
+    def test_invalid_max_groups(self):
+        with pytest.raises(ConfigurationError):
+            suggest_k(10, 5, max_groups=0)

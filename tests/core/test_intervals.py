@@ -1,0 +1,109 @@
+"""Tests for the interval-set bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IntervalSet
+
+interval = st.tuples(
+    st.integers(min_value=0, max_value=1000), st.integers(min_value=0, max_value=100)
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+class TestAdd:
+    def test_first_add_returns_whole_gap(self):
+        s = IntervalSet()
+        assert s.add(10, 20) == [(10, 20)]
+
+    def test_fully_covered_add_returns_nothing(self):
+        s = IntervalSet()
+        s.add(0, 100)
+        assert s.add(10, 20) == []
+
+    def test_partial_overlap(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        assert s.add(5, 15) == [(10, 15)]
+
+    def test_gap_in_middle(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(20, 30)
+        assert s.add(0, 30) == [(10, 20)]
+
+    def test_adjacent_intervals_coalesce(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(10, 20)
+        assert s.intervals() == [(0, 20)]
+
+    def test_zero_length_add(self):
+        s = IntervalSet()
+        assert s.add(5, 5) == []
+        assert len(s) == 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            IntervalSet().gaps_in(10, 5)
+
+
+class TestQueries:
+    def test_covers(self):
+        s = IntervalSet()
+        s.add(0, 100)
+        assert s.covers(10, 50)
+        assert not s.covers(50, 150)
+
+    def test_contains_point(self):
+        s = IntervalSet()
+        s.add(10, 20)
+        assert 10 in s and 19 in s
+        assert 9 not in s and 20 not in s
+
+    def test_total(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(20, 25)
+        assert s.total() == 15
+
+    def test_gaps_in(self):
+        s = IntervalSet()
+        s.add(10, 20)
+        s.add(30, 40)
+        assert s.gaps_in(0, 50) == [(0, 10), (20, 30), (40, 50)]
+
+
+class TestProperties:
+    @given(st.lists(interval, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_set_semantics(self, intervals):
+        s = IntervalSet()
+        shadow: set[int] = set()
+        for start, end in intervals:
+            gaps = s.add(start, end)
+            gap_points = set()
+            for g0, g1 in gaps:
+                gap_points.update(range(g0, g1))
+            # the reported gaps are exactly the new points
+            assert gap_points == set(range(start, end)) - shadow
+            shadow.update(range(start, end))
+        assert s.total() == len(shadow)
+        # disjoint + sorted invariants
+        ivs = s.intervals()
+        for (s1, e1), (s2, _e2) in zip(ivs, ivs[1:]):
+            assert e1 < s2  # coalescing leaves no adjacency
+
+    @given(st.lists(interval, max_size=20), interval)
+    @settings(max_examples=100, deadline=None)
+    def test_gaps_query_consistent(self, intervals, probe):
+        s = IntervalSet()
+        shadow: set[int] = set()
+        for start, end in intervals:
+            s.add(start, end)
+            shadow.update(range(start, end))
+        start, end = probe
+        gap_points = set()
+        for g0, g1 in s.gaps_in(start, end):
+            gap_points.update(range(g0, g1))
+        assert gap_points == set(range(start, end)) - shadow

@@ -1,0 +1,99 @@
+"""Tests for restoring a plan from its persisted metadata (load_plan)
+and for the simulated migration."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import MHAPipeline, load_plan, verify_plan
+from repro.pfs import run_workload, simulate_migration
+from repro.units import KiB, MiB
+from repro.workloads import IORWorkload, LANLWorkload
+
+
+@pytest.fixture
+def spec():
+    return ClusterSpec()
+
+
+@pytest.fixture
+def trace():
+    return IORWorkload(
+        num_processes=8,
+        request_sizes=[32 * KiB, 128 * KiB],
+        total_size=8 * MiB,
+        seed=4,
+    ).trace("write")
+
+
+class TestLoadPlan:
+    def test_restored_plan_maps_identically(self, spec, trace, tmp_path):
+        pipeline = MHAPipeline(
+            spec, seed=0, drt_path=tmp_path / "drt.db", rst_path=tmp_path / "rst.db"
+        )
+        original = pipeline.plan(trace)
+        expected = {
+            (r.offset, r.size): original.redirector.map_request(
+                r.file, r.offset, r.size
+            )
+            for r in trace
+        }
+        original.drt.close()
+        original.rst.close()
+
+        restored = load_plan(spec, tmp_path / "drt.db", tmp_path / "rst.db")
+        for record in trace:
+            got = restored.redirector.map_request(
+                record.file, record.offset, record.size
+            )
+            assert got == expected[(record.offset, record.size)]
+
+    def test_restored_plan_replays_identically(self, spec, trace, tmp_path):
+        pipeline = MHAPipeline(
+            spec, seed=0, drt_path=tmp_path / "drt.db", rst_path=tmp_path / "rst.db"
+        )
+        original = pipeline.plan(trace)
+        m1 = run_workload(spec, original.redirector, trace)
+        original.drt.close()
+        original.rst.close()
+        restored = load_plan(spec, tmp_path / "drt.db", tmp_path / "rst.db")
+        m2 = run_workload(spec, restored.redirector, trace)
+        assert m1.makespan == m2.makespan
+
+    def test_restored_plan_passes_structural_audit(self, spec, trace, tmp_path):
+        pipeline = MHAPipeline(
+            spec, seed=0, drt_path=tmp_path / "drt.db", rst_path=tmp_path / "rst.db"
+        )
+        plan = pipeline.plan(trace)
+        plan.drt.close()
+        plan.rst.close()
+        restored = load_plan(spec, tmp_path / "drt.db", tmp_path / "rst.db")
+        report = verify_plan(restored, trace)
+        assert report.ok, str(report)
+
+
+class TestSimulatedMigration:
+    def test_migration_moves_every_drt_byte(self, spec):
+        trace = LANLWorkload(num_processes=4, loops=8).trace("write")
+        plan = MHAPipeline(spec, seed=0).plan(trace)
+        metrics = simulate_migration(spec, plan)
+        assert metrics.bytes_moved == plan.migrated_bytes()
+        assert metrics.extents == len(plan.drt)
+        assert metrics.makespan > 0
+        assert metrics.bandwidth > 0
+
+    def test_migration_time_within_sanity_bounds(self, spec, trace):
+        plan = MHAPipeline(spec, seed=0).plan(trace)
+        migration = simulate_migration(spec, plan)
+        production = run_workload(spec, plan.redirector, trace)
+        # the one-off copy reads + writes every byte: same order of
+        # magnitude as one production run, not dozens of them
+        assert migration.makespan < 20 * production.makespan
+
+    def test_empty_plan_migrates_nothing(self, spec):
+        from repro.tracing import Trace
+
+        plan = MHAPipeline(spec, seed=0).plan(Trace([]))
+        metrics = simulate_migration(spec, plan)
+        assert metrics.bytes_moved == 0
+        assert metrics.makespan == 0.0
+        assert metrics.bandwidth == 0.0

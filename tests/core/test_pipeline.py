@@ -1,0 +1,147 @@
+"""Integration tests for the five-phase MHA pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import MHAPipeline, OnlinePipeline
+from repro.core.pipeline import identity_redirector
+from repro.exceptions import ConfigurationError
+from repro.layouts import check_tiling
+from repro.tracing import Trace, TraceRecord
+from repro.units import KiB
+
+
+def rec(offset, size, ts, rank=0, op="write", file="f"):
+    return TraceRecord(offset=offset, timestamp=ts, rank=rank, size=size, op=op, file=file)
+
+
+def mixed_trace(loops=6, procs=4):
+    """Alternating small/large phases, LANL-style."""
+    records = []
+    area = loops * (1 * KiB + 127 * KiB)
+    for loop in range(loops):
+        for rank in range(procs):
+            base = rank * area + loop * 128 * KiB
+            records.append(rec(base, 1 * KiB, ts=loop * 20.0, rank=rank))
+            records.append(
+                rec(base + 1 * KiB, 127 * KiB, ts=loop * 20.0 + 10.0, rank=rank)
+            )
+    return Trace(records)
+
+
+@pytest.fixture
+def spec():
+    return ClusterSpec()
+
+
+class TestPlan:
+    def test_end_to_end_plan(self, spec):
+        plan = MHAPipeline(spec, seed=1).plan(mixed_trace())
+        assert plan.num_regions >= 2
+        assert len(plan.drt) > 0
+        assert len(plan.rst) == plan.num_regions
+        assert plan.migrated_bytes() == mixed_trace().total_bytes() // 1  # claimed once
+        assert "MHA plan" in plan.describe()
+
+    def test_every_request_maps_and_tiles(self, spec):
+        trace = mixed_trace()
+        plan = MHAPipeline(spec, seed=1).plan(trace)
+        for record in trace:
+            frags = plan.redirector.map_request(record.file, record.offset, record.size)
+            check_tiling(record.offset, record.size, frags)
+
+    def test_grouping_separates_small_and_large(self, spec):
+        plan = MHAPipeline(spec, seed=1).plan(mixed_trace())
+        grouping = plan.groupings["f"]
+        sizes = {round(c[0]) for c in grouping.centers}
+        assert 1 * KiB in sizes and 127 * KiB in sizes
+
+    def test_deterministic(self, spec):
+        a = MHAPipeline(spec, seed=5).plan(mixed_trace())
+        b = MHAPipeline(spec, seed=5).plan(mixed_trace())
+        assert list(a.rst) == list(b.rst)
+
+    def test_multi_file_trace(self, spec):
+        records = []
+        for f in ("a", "b"):
+            for i in range(4):
+                records.append(rec(i * 64 * KiB, 64 * KiB, ts=float(i), file=f))
+        plan = MHAPipeline(spec, seed=0).plan(Trace(records))
+        assert set(plan.reorder_plans) == {"a", "b"}
+        for record in records:
+            frags = plan.redirector.map_request(record.file, record.offset, record.size)
+            check_tiling(record.offset, record.size, frags)
+
+    def test_empty_trace(self, spec):
+        plan = MHAPipeline(spec).plan(Trace([]))
+        assert plan.num_regions == 0
+        assert len(plan.drt) == 0
+
+    def test_persistence(self, spec, tmp_path):
+        pipeline = MHAPipeline(
+            spec,
+            seed=1,
+            drt_path=tmp_path / "drt.db",
+            rst_path=tmp_path / "rst.db",
+        )
+        plan = pipeline.plan(mixed_trace())
+        n_entries, n_regions = len(plan.drt), len(plan.rst)
+        plan.drt.close()
+        plan.rst.close()
+        from repro.core import DRT, RST
+
+        with DRT(tmp_path / "drt.db") as drt, RST(tmp_path / "rst.db") as rst:
+            assert len(drt) == n_entries
+            assert len(rst) == n_regions
+
+    def test_k_override(self, spec):
+        plan = MHAPipeline(spec, k=1, seed=0).plan(mixed_trace())
+        assert plan.groupings["f"].k == 1
+
+    def test_invalid_k(self, spec):
+        with pytest.raises(ConfigurationError):
+            MHAPipeline(spec, k=0)
+
+    def test_max_groups_cap(self, spec):
+        plan = MHAPipeline(spec, max_groups=2, seed=0).plan(mixed_trace())
+        assert plan.groupings["f"].k <= 2
+
+
+class TestIdentityRedirector:
+    def test_maps_back_to_original_offsets(self, spec):
+        trace = mixed_trace(loops=2, procs=2)
+        redirector = identity_redirector(spec, trace)
+        for record in trace:
+            frags = redirector.map_request(record.file, record.offset, record.size)
+            check_tiling(record.offset, record.size, frags)
+            assert all(f.obj == record.file for f in frags)
+
+    def test_every_lookup_hits_the_drt(self, spec):
+        trace = mixed_trace(loops=2, procs=2)
+        redirector = identity_redirector(spec, trace)
+        redirector.map_request("f", trace[0].offset, trace[0].size)
+        assert redirector.stats.translated_extents >= 1
+        assert redirector.stats.fallthrough_extents == 0
+
+
+class TestOnlinePipeline:
+    def test_replans_per_window(self, spec):
+        online = OnlinePipeline(MHAPipeline(spec, seed=0), window=16)
+        trace = mixed_trace(loops=4, procs=2)
+        plans = 0
+        for record in trace:
+            if online.observe(record) is not None:
+                plans += 1
+        assert plans == len(trace) // 16
+        assert online.replans == plans
+        assert online.plan is not None
+
+    def test_no_plan_before_first_window(self, spec):
+        online = OnlinePipeline(MHAPipeline(spec, seed=0), window=100)
+        assert online.observe(rec(0, 1024, 0.0)) is None
+        assert online.plan is None
+
+    def test_invalid_window(self, spec):
+        with pytest.raises(ConfigurationError):
+            OnlinePipeline(MHAPipeline(spec), window=0)

@@ -1,0 +1,103 @@
+"""Tests for the plan auditor."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import DRTEntry, MHAPipeline, StripePair, verify_plan
+from repro.tracing import Trace, TraceRecord
+from repro.units import KiB
+from repro.workloads import IORWorkload, LANLWorkload
+
+
+@pytest.fixture
+def spec():
+    return ClusterSpec()
+
+
+def plan_of(spec, trace, **kwargs):
+    return MHAPipeline(spec, seed=0, **kwargs).plan(trace)
+
+
+class TestCleanPlans:
+    def test_ior_plan_verifies(self, spec):
+        trace = IORWorkload(
+            num_processes=8,
+            request_sizes=[16 * KiB, 64 * KiB],
+            total_size=4 * 1024 * KiB,
+        ).trace("write")
+        plan = plan_of(spec, trace)
+        report = verify_plan(plan, trace)
+        assert report.ok, str(report)
+        assert report.stats["requests_checked"] == len(trace)
+        assert report.stats["migrated_bytes"] == plan.migrated_bytes()
+
+    def test_lanl_plan_verifies(self, spec):
+        trace = LANLWorkload(num_processes=4, loops=8).trace("write")
+        report = verify_plan(plan_of(spec, trace), trace)
+        assert report.ok, str(report)
+
+    def test_multi_file_plan_verifies(self, spec):
+        from repro.workloads import LUWorkload
+
+        trace = LUWorkload(num_processes=4, slabs=6).trace()
+        report = verify_plan(plan_of(spec, trace), trace)
+        assert report.ok, str(report)
+
+    def test_report_str_mentions_ok(self, spec):
+        trace = IORWorkload(num_processes=4, total_size=1024 * KiB).trace("write")
+        report = verify_plan(plan_of(spec, trace), trace)
+        assert "plan OK" in str(report)
+
+
+class TestBrokenPlans:
+    def _small_plan(self, spec):
+        trace = Trace(
+            [
+                TraceRecord(offset=0, timestamp=0.0, rank=0, size=8 * KiB, op="write"),
+                TraceRecord(
+                    offset=32 * KiB, timestamp=5.0, rank=0, size=8 * KiB, op="write"
+                ),
+            ]
+        )
+        return plan_of(spec, trace, k=1), trace
+
+    def test_missing_rst_entry_detected(self, spec):
+        plan, trace = self._small_plan(spec)
+        # sabotage: drop a region's stripe pair
+        region = next(iter(plan.region_layouts))
+        plan.rst._table.pop(region)
+        report = verify_plan(plan, trace)
+        assert not report.ok
+        assert any("no RST stripe pair" in e for e in report.errors)
+
+    def test_orphan_rst_entry_detected(self, spec):
+        plan, trace = self._small_plan(spec)
+        plan.rst.set("ghost.region9", StripePair(0, 4 * KiB))
+        report = verify_plan(plan, trace)
+        assert not report.ok
+        assert any("never targets" in e for e in report.errors)
+
+    def test_region_hole_detected(self, spec):
+        plan, trace = self._small_plan(spec)
+        # sabotage: grow the declared region size past its DRT coverage
+        region_plan = next(iter(plan.reorder_plans.values())).regions[0]
+        region_plan.size += 4 * KiB
+        report = verify_plan(plan, trace)
+        assert not report.ok
+        assert any("holes or spill" in e for e in report.errors)
+
+    def test_missing_layout_detected(self, spec):
+        plan, trace = self._small_plan(spec)
+        region = next(iter(plan.region_layouts))
+        del plan.region_layouts[region]
+        # keep the redirector's copy out of sync too
+        plan.redirector._regions.pop(region, None)
+        report = verify_plan(plan, trace)
+        assert not report.ok
+
+    def test_accounting_mismatch_detected(self, spec):
+        plan, trace = self._small_plan(spec)
+        next(iter(plan.reorder_plans.values())).migrated_bytes += 1
+        report = verify_plan(plan, trace)
+        assert not report.ok
+        assert any("accounting mismatch" in e for e in report.errors)

@@ -1,0 +1,119 @@
+"""Smoke tests for every figure entry point (tiny configurations).
+
+The benchmarks run the real (scaled) figures; these tests only check
+that each entry point produces a well-formed result quickly, so a
+refactor can't silently break the harness.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.harness import (
+    ALL_FIGURES,
+    fig07_ior_mixed_sizes,
+    fig08_server_io_time,
+    fig09_ior_mixed_procs,
+    fig10_server_ratios,
+    fig11_hpio,
+    fig12a_btio,
+    fig12b_lanl,
+    fig13a_lu,
+    fig13b_cholesky,
+    fig14_redirection_overhead,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ClusterSpec()
+
+
+SCHEMES = ("DEF", "MHA")
+
+
+class TestFigureSmoke:
+    def test_fig07(self, spec):
+        r = fig07_ior_mixed_sizes(
+            spec, size_mixes=((16,), (64, 128)), num_processes=4,
+            total_mib=2, schemes=SCHEMES,
+        )
+        assert len(r.rows) == 4  # 2 mixes x read/write
+        assert set(r.series) == set(SCHEMES)
+
+    def test_fig08(self, spec):
+        r = fig08_server_io_time(
+            spec, num_processes=4, total_mib=2, schemes=SCHEMES
+        )
+        assert len(r.rows) == spec.num_servers
+        # normalization anchor: some MHA row sits at 1.0
+        assert min(r.value(row, "MHA") for row in r.rows) == pytest.approx(1.0)
+
+    def test_fig09(self, spec):
+        r = fig09_ior_mixed_procs(
+            spec, proc_mixes=((2,), (2, 4)), group_mib=1, schemes=SCHEMES
+        )
+        assert len(r.rows) == 4
+
+    def test_fig10(self, spec):
+        r = fig10_server_ratios(
+            spec, ratios=((6, 2), (4, 4)), num_processes=4,
+            total_mib=2, schemes=SCHEMES,
+        )
+        assert len(r.rows) == 4
+
+    def test_fig11(self, spec):
+        r = fig11_hpio(
+            spec, proc_counts=(4,), region_count=64, schemes=SCHEMES
+        )
+        assert "4 procs" in r.rows
+
+    def test_fig12a(self, spec):
+        r = fig12a_btio(spec, proc_counts=(4,), steps=4, schemes=SCHEMES)
+        assert "4 procs" in r.rows
+
+    def test_fig12b(self, spec):
+        r = fig12b_lanl(spec, num_processes=2, loops=4, schemes=SCHEMES)
+        assert "bandwidth" in r.rows
+
+    def test_fig13a(self, spec):
+        r = fig13a_lu(spec, num_processes=2, slabs=4, schemes=SCHEMES)
+        assert r.value("bandwidth", "MHA") > 0
+
+    def test_fig13b(self, spec):
+        r = fig13b_cholesky(spec, num_processes=2, panels=4, schemes=SCHEMES)
+        assert r.value("bandwidth", "MHA") > 0
+
+    def test_fig14(self, spec):
+        r = fig14_redirection_overhead(
+            spec, proc_counts=(2,), total_mib=1, repeats=1
+        )
+        assert r.value("2 procs", "redirected") > 0
+
+    def test_registry_complete(self):
+        assert set(ALL_FIGURES) == {
+            "fig07", "fig08", "fig09", "fig10", "fig11",
+            "fig12a", "fig12b", "fig13a", "fig13b", "fig14",
+        }
+
+
+class TestCLI:
+    def test_cli_runs_one_figure(self, capsys):
+        from repro.harness.cli import main
+
+        # fig12b is the fastest full figure
+        assert main(["fig12b", "--schemes", "DEF,MHA"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 12b" in out
+
+    def test_cli_bars_flag(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["fig12b", "--schemes", "DEF,MHA", "--bars"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+
+    def test_cli_rejects_unknown_figure(self):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,104 @@
+"""Tests for the sweep utility, bar rendering and migration estimate."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import MHAPipeline, estimate_migration_time
+from repro.harness import SweepPoint, format_bars, sweep
+from repro.harness.report import FigureResult
+from repro.units import KiB, MiB
+from repro.workloads import IORWorkload
+
+
+class TestSweep:
+    def test_sweep_over_request_sizes(self):
+        spec = ClusterSpec()
+        points = [
+            SweepPoint(
+                f"{k}KiB",
+                spec,
+                IORWorkload(
+                    num_processes=4,
+                    request_sizes=k * KiB,
+                    total_size=2 * MiB,
+                ).trace("write"),
+            )
+            for k in (16, 128)
+        ]
+        result = sweep(points, schemes=("DEF", "MHA"), title="size sweep")
+        assert set(result.rows) == {"16KiB", "128KiB"}
+        assert set(result.series) == {"DEF", "MHA"}
+        assert all(v > 0 for row in result.rows.values() for v in row.values())
+
+    def test_sweep_over_cluster_shapes(self):
+        trace = IORWorkload(
+            num_processes=4, request_sizes=64 * KiB, total_size=2 * MiB
+        ).trace("write")
+        points = [
+            SweepPoint(f"{m}h:{n}s", ClusterSpec(num_hservers=m, num_sservers=n), trace)
+            for m, n in ((6, 2), (4, 4))
+        ]
+        result = sweep(points, schemes=("MHA",))
+        assert len(result.rows) == 2
+
+
+class TestFormatBars:
+    def test_bars_scale_to_peak(self):
+        r = FigureResult(figure="F", title="t")
+        r.add("a", "X", 100.0)
+        r.add("a", "Y", 50.0)
+        text = format_bars(r, width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        x_bar = lines[0].split("|")[1]
+        y_bar = lines[1].split("|")[1]
+        assert x_bar.count("#") == 10
+        assert y_bar.count("#") == 5
+
+    def test_bars_empty_result(self):
+        r = FigureResult(figure="F", title="t")
+        assert "F" in format_bars(r)
+
+    def test_notes_included(self):
+        r = FigureResult(figure="F", title="t")
+        r.add("a", "X", 1.0)
+        r.note("hello")
+        assert "hello" in format_bars(r)
+
+
+class TestMigrationEstimate:
+    def test_zero_for_empty_plan(self):
+        spec = ClusterSpec()
+        from repro.core import DRT
+
+        assert estimate_migration_time(spec, DRT()) == 0.0
+
+    def test_scales_with_volume(self):
+        spec = ClusterSpec()
+        small = IORWorkload(
+            num_processes=4, request_sizes=64 * KiB, total_size=1 * MiB
+        ).trace("write")
+        large = IORWorkload(
+            num_processes=4, request_sizes=64 * KiB, total_size=4 * MiB
+        ).trace("write")
+        t_small = estimate_migration_time(
+            spec, MHAPipeline(spec, seed=0).plan(small).drt
+        )
+        t_large = estimate_migration_time(
+            spec, MHAPipeline(spec, seed=0).plan(large).drt
+        )
+        assert t_large > 2 * t_small
+
+    def test_one_off_cost_is_modest(self):
+        """The paper's premise: off-line migration once is acceptable.
+        The one-off sweep should be within a small multiple of one
+        optimized run of the same volume."""
+        spec = ClusterSpec()
+        trace = IORWorkload(
+            num_processes=8, request_sizes=128 * KiB, total_size=8 * MiB
+        ).trace("write")
+        plan = MHAPipeline(spec, seed=0).plan(trace)
+        migration = estimate_migration_time(spec, plan.drt)
+        from repro.pfs import run_workload
+
+        run = run_workload(spec, plan.redirector, trace)
+        assert migration < 10 * run.makespan

@@ -1,0 +1,114 @@
+"""Hypothesis property tests on layout mapping invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layouts import (
+    FixedStripeLayout,
+    Region,
+    RegionLayout,
+    VariedStripeLayout,
+    check_tiling,
+)
+
+extents = st.tuples(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=0, max_value=50_000),
+)
+
+
+@st.composite
+def varied_layouts(draw):
+    M = draw(st.integers(min_value=0, max_value=5))
+    N = draw(st.integers(min_value=0, max_value=5))
+    h = draw(st.integers(min_value=0, max_value=4096)) if M else 0
+    s = draw(st.integers(min_value=0, max_value=4096)) if N else 0
+    if (h if M else 0) == 0 and (s if N else 0) == 0:
+        # ensure at least one active class
+        if N:
+            s = draw(st.integers(min_value=1, max_value=4096))
+        else:
+            M = max(M, 1)
+            h = draw(st.integers(min_value=1, max_value=4096))
+    return VariedStripeLayout(list(range(M)), list(range(M, M + N)), h, s)
+
+
+class TestTilingProperties:
+    @given(extent=extents, layout=varied_layouts())
+    @settings(max_examples=200, deadline=None)
+    def test_varied_tiles_every_extent(self, extent, layout):
+        offset, length = extent
+        frags = layout.map_extent(offset, length)
+        check_tiling(offset, length, frags)
+
+    @given(
+        extent=extents,
+        stripe=st.integers(min_value=1, max_value=8192),
+        nservers=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fixed_tiles_every_extent(self, extent, stripe, nservers):
+        offset, length = extent
+        layout = FixedStripeLayout(list(range(nservers)), stripe)
+        check_tiling(offset, length, layout.map_extent(offset, length))
+
+    @given(extent=extents, layout=varied_layouts())
+    @settings(max_examples=100, deadline=None)
+    def test_no_server_overlap(self, extent, layout):
+        """Two fragments on the same server object never overlap."""
+        offset, length = extent
+        spans: dict[tuple[int, str], list[tuple[int, int]]] = {}
+        for f in layout.map_extent(offset, length):
+            spans.setdefault((f.server, f.obj), []).append(
+                (f.offset, f.offset + f.length)
+            )
+        for ranges in spans.values():
+            ranges.sort()
+            for (s1, e1), (s2, _e2) in zip(ranges, ranges[1:]):
+                assert e1 <= s2
+
+    @given(
+        extent=extents,
+        stripe=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mapping_is_deterministic_and_splittable(self, extent, stripe):
+        """Mapping [a,b) equals mapping [a,m) + [m,b) fragment-for-byte."""
+        offset, length = extent
+        layout = FixedStripeLayout([0, 1, 2], stripe)
+        mid = length // 2
+        whole = layout.map_extent(offset, length)
+        parts = layout.map_extent(offset, mid) + layout.map_extent(
+            offset + mid, length - mid
+        )
+
+        def bytemap(frags):
+            out = {}
+            for f in frags:
+                for i in range(f.length):
+                    out[f.logical_offset + i] = (f.server, f.offset + i)
+            return out
+
+        if length <= 2048:  # keep the brute force cheap
+            assert bytemap(whole) == bytemap(parts)
+
+    @given(
+        extent=extents,
+        boundary=st.integers(min_value=1, max_value=50_000),
+        s1=st.integers(min_value=1, max_value=4096),
+        s2=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_region_layout_tiles(self, extent, boundary, s1, s2):
+        offset, length = extent
+        layout = RegionLayout(
+            [
+                Region(0, boundary, FixedStripeLayout([0, 1], s1, obj="r0")),
+                Region(
+                    boundary,
+                    boundary * 2,
+                    VariedStripeLayout([0, 1], [2], h=s1, s=s2, obj="r1"),
+                ),
+            ]
+        )
+        check_tiling(offset, length, layout.map_extent(offset, length))

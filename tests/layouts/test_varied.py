@@ -1,0 +1,110 @@
+"""Tests for varied-size (<h, s>) striping."""
+
+import pytest
+
+from repro.exceptions import LayoutError
+from repro.layouts import VariedStripeLayout, check_tiling
+
+
+def make(h, s, M=2, N=2):
+    return VariedStripeLayout(
+        hservers=list(range(M)), sservers=list(range(M, M + N)), h=h, s=s
+    )
+
+
+class TestMapping:
+    def test_cycle_structure(self):
+        layout = make(h=10, s=30)
+        assert layout.cycle == 2 * 10 + 2 * 30
+
+    def test_hservers_first_within_cycle(self):
+        layout = make(h=10, s=30)
+        frags = layout.map_extent(0, 80)
+        assert [(f.server, f.length) for f in frags] == [
+            (0, 10),
+            (1, 10),
+            (2, 30),
+            (3, 30),
+        ]
+
+    def test_second_cycle_offsets(self):
+        layout = make(h=10, s=30)
+        frags = layout.map_extent(80, 80)
+        assert [(f.server, f.offset) for f in frags] == [
+            (0, 10),
+            (1, 10),
+            (2, 30),
+            (3, 30),
+        ]
+
+    def test_h_zero_places_only_on_sservers(self):
+        layout = make(h=0, s=16)
+        frags = layout.map_extent(0, 64)
+        assert {f.server for f in frags} == {2, 3}
+        assert layout.cycle == 32
+
+    def test_s_zero_places_only_on_hservers(self):
+        layout = make(h=16, s=0)
+        frags = layout.map_extent(0, 64)
+        assert {f.server for f in frags} == {0, 1}
+
+    def test_servers_reflects_active_classes(self):
+        assert make(h=0, s=16).servers == (2, 3)
+        assert make(h=16, s=0).servers == (0, 1)
+        assert make(h=8, s=16).servers == (0, 1, 2, 3)
+
+    def test_tiling_invariant_unaligned(self):
+        layout = make(h=12, s=28)
+        check_tiling(7, 333, layout.map_extent(7, 333))
+
+    def test_mid_stripe_start(self):
+        layout = make(h=10, s=30)
+        frags = layout.map_extent(5, 10)
+        assert [(f.server, f.offset, f.length) for f in frags] == [
+            (0, 5, 5),
+            (1, 0, 5),
+        ]
+
+    def test_asymmetric_class_sizes(self):
+        layout = VariedStripeLayout([0, 1, 2], [3], h=4, s=20)
+        frags = layout.map_extent(0, 32)
+        assert [(f.server, f.length) for f in frags] == [
+            (0, 4),
+            (1, 4),
+            (2, 4),
+            (3, 20),
+        ]
+
+    def test_zero_length(self):
+        assert make(h=10, s=20).map_extent(50, 0) == []
+
+
+class TestValidation:
+    def test_both_zero_rejected(self):
+        with pytest.raises(LayoutError):
+            make(h=0, s=0)
+
+    def test_negative_stripe_rejected(self):
+        with pytest.raises(LayoutError):
+            make(h=-4, s=8)
+
+    def test_h_positive_without_hservers_rejected(self):
+        with pytest.raises(LayoutError):
+            VariedStripeLayout([], [0, 1], h=4, s=8)
+
+    def test_overlapping_classes_rejected(self):
+        with pytest.raises(LayoutError):
+            VariedStripeLayout([0, 1], [1, 2], h=4, s=8)
+
+    def test_no_hservers_is_fine_with_h_zero(self):
+        layout = VariedStripeLayout([], [0, 1], h=0, s=8)
+        assert layout.map_extent(0, 16)[0].server == 0
+
+    def test_positive_stripe_for_empty_class_rejected(self):
+        with pytest.raises(LayoutError):
+            VariedStripeLayout([0, 1], [], h=8, s=16)
+
+    def test_empty_class_with_zero_stripe_allowed(self):
+        layout = VariedStripeLayout([0, 1], [], h=8, s=0)
+        assert layout.s == 0
+        assert {f.server for f in layout.map_extent(0, 32)} == {0, 1}

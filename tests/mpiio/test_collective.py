@@ -1,0 +1,134 @@
+"""Tests for collective MPI-IO operations (read_at_all/write_at_all)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.layouts import FixedStripeLayout
+from repro.mpiio import MPIJob
+from repro.pfs import HybridPFS
+from repro.schemes.base import LayoutView
+from repro.tracing import IOCollector
+from repro.units import KiB
+
+
+@pytest.fixture
+def setup():
+    spec = ClusterSpec(num_hservers=2, num_sservers=2)
+    pfs = HybridPFS(spec)
+    view = LayoutView(
+        {}, default=FixedStripeLayout(spec.server_ids, 64 * KiB, obj="f")
+    )
+    return spec, pfs, view
+
+
+class TestCollectiveIO:
+    def test_all_ranks_resume_together(self, setup):
+        """The implicit barrier: every rank resumes at the same simulated
+        time, even though their portions differ wildly in size."""
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=4)
+        resume_times = {}
+
+        def program(rank):
+            fh = rank.open("f")
+            # rank 0 writes 1 MiB, the rest 4 KiB: very uneven portions
+            size = 1024 * KiB if rank.rank == 0 else 4 * KiB
+            yield fh.write_at_all(rank.rank * 1024 * KiB, size)
+            resume_times[rank.rank] = rank.now
+
+        job.run(program)
+        assert len(set(resume_times.values())) == 1
+
+    def test_collective_waits_for_stragglers_to_arrive(self, setup):
+        """The operation is not issued until the last rank arrives."""
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=2)
+        resume_times = {}
+
+        def program(rank):
+            fh = rank.open("f")
+            if rank.rank == 1:
+                yield 5.0  # compute phase delays this rank's arrival
+            yield fh.write_at_all(rank.rank * 64 * KiB, 4 * KiB)
+            resume_times[rank.rank] = rank.now
+
+        job.run(program)
+        # nobody can finish before the straggler arrived at t=5
+        assert min(resume_times.values()) > 5.0
+        assert len(set(resume_times.values())) == 1
+
+    def test_successive_collectives_pair_up_by_sequence(self, setup):
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=2)
+        log = []
+
+        def program(rank):
+            fh = rank.open("f")
+            for step in range(3):
+                yield fh.write_at_all((rank.rank + 2 * step) * 64 * KiB, 4 * KiB)
+                log.append((step, rank.rank, rank.now))
+
+        job.run(program)
+        by_step = {}
+        for step, _rank, t in log:
+            by_step.setdefault(step, set()).add(t)
+        # each step's participants share one completion time, and the
+        # steps strictly advance
+        assert all(len(times) == 1 for times in by_step.values())
+        t0, t1, t2 = (by_step[i].pop() for i in range(3))
+        assert t0 < t1 < t2
+
+    def test_collective_recorded_by_collector(self, setup):
+        _, pfs, view = setup
+        collector = IOCollector(clock=lambda: pfs.sim.now)
+        job = MPIJob(pfs, view, size=2, collector=collector)
+
+        def program(rank):
+            fh = rank.open("f")
+            yield fh.read_at_all(rank.rank * 64 * KiB, 8 * KiB)
+
+        job.run(program)
+        trace = collector.trace()
+        assert len(trace) == 2
+        assert {r.rank for r in trace} == {0, 1}
+
+    def test_collective_on_closed_file_rejected(self, setup):
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=1)
+        errors = []
+
+        def program(rank):
+            fh = rank.open("f")
+            fh.close()
+            try:
+                fh.write_at_all(0, 4 * KiB)
+            except ValueError as exc:
+                errors.append(exc)
+            return
+            yield  # pragma: no cover
+
+        job.run(program)
+        assert len(errors) == 1
+
+    def test_collective_slower_portions_dominate(self, setup):
+        """Collective makespan equals the independent-writes makespan
+        for the same portions (same I/O, plus the barrier)."""
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=4)
+
+        def collective_program(rank):
+            fh = rank.open("f")
+            yield fh.write_at_all(rank.rank * 256 * KiB, 256 * KiB)
+
+        makespan_collective = job.run(collective_program)
+
+        spec2 = ClusterSpec(num_hservers=2, num_sservers=2)
+        pfs2 = HybridPFS(spec2)
+        job2 = MPIJob(pfs2, view, size=4)
+
+        def independent_program(rank):
+            fh = rank.open("f")
+            yield fh.write_at(rank.rank * 256 * KiB, 256 * KiB)
+
+        makespan_independent = job2.run(independent_program)
+        assert makespan_collective == pytest.approx(makespan_independent)

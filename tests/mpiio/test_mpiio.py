@@ -1,0 +1,125 @@
+"""Tests for the simulated MPI-IO middleware."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.layouts import FixedStripeLayout
+from repro.mpiio import MPIJob, dispatch
+from repro.pfs import HybridPFS
+from repro.schemes.base import LayoutView
+from repro.tracing import IOCollector
+from repro.units import KiB
+
+
+@pytest.fixture
+def setup():
+    spec = ClusterSpec(num_hservers=2, num_sservers=2)
+    pfs = HybridPFS(spec)
+    view = LayoutView(
+        {}, default=FixedStripeLayout(spec.server_ids, 64 * KiB, obj="f")
+    )
+    return spec, pfs, view
+
+
+class TestDispatch:
+    def test_dispatch_issues_and_completes(self, setup):
+        _, pfs, view = setup
+        done = dispatch(pfs, view, "f", "read", 0, 128 * KiB)
+        pfs.sim.run()
+        assert done.fired
+        assert sum(pfs.per_server_bytes()) == 128 * KiB
+
+
+class TestMPIJob:
+    def test_spmd_program_runs_all_ranks(self, setup):
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=4)
+        seen = []
+
+        def program(rank):
+            with rank.open("f") as fh:
+                yield fh.write_at(rank.rank * 64 * KiB, 64 * KiB)
+            seen.append(rank.rank)
+
+        makespan = job.run(program)
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert makespan > 0
+
+    def test_comm_size_visible(self, setup):
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=3)
+        sizes = []
+
+        def program(rank):
+            sizes.append(rank.size)
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        job.run(program)
+        assert sizes == [3, 3, 3]
+
+    def test_collector_traces_operations(self, setup):
+        _, pfs, view = setup
+        collector = IOCollector(clock=lambda: pfs.sim.now)
+        job = MPIJob(pfs, view, size=2, collector=collector)
+
+        def program(rank):
+            fh = rank.open("f")
+            yield fh.read_at(0, 4 * KiB)
+            yield fh.write_at(64 * KiB, 4 * KiB)
+            fh.close()
+
+        job.run(program)
+        trace = collector.trace()
+        assert len(trace) == 4
+        assert {r.op for r in trace} == {"read", "write"}
+
+    def test_collection_can_be_disabled_per_file(self, setup):
+        _, pfs, view = setup
+        collector = IOCollector()
+        job = MPIJob(pfs, view, size=1, collector=collector)
+
+        def program(rank):
+            fh = rank.open("f", collect=False)
+            yield fh.read_at(0, 4 * KiB)
+
+        job.run(program)
+        assert len(collector) == 0
+
+    def test_closed_file_rejects_io(self, setup):
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=1)
+        errors = []
+
+        def program(rank):
+            fh = rank.open("f")
+            fh.close()
+            try:
+                fh.read_at(0, 4 * KiB)
+            except ValueError as exc:
+                errors.append(exc)
+            return
+            yield  # pragma: no cover
+
+        job.run(program)
+        assert len(errors) == 1
+
+    def test_invalid_job_size(self, setup):
+        _, pfs, view = setup
+        with pytest.raises(ValueError):
+            MPIJob(pfs, view, size=0)
+
+    def test_synchronous_io_serializes_per_rank(self, setup):
+        _, pfs, view = setup
+        job = MPIJob(pfs, view, size=1)
+        times = []
+
+        def program(rank):
+            fh = rank.open("f")
+            yield fh.write_at(0, 64 * KiB)
+            times.append(rank.now)
+            yield fh.write_at(10 * 64 * KiB, 64 * KiB)
+            times.append(rank.now)
+
+        job.run(program)
+        assert times[1] > times[0] > 0

@@ -1,0 +1,37 @@
+"""Tests for the network link model."""
+
+import pytest
+
+from repro.network import GIGABIT_ETHERNET, Link
+from repro.units import MiB
+
+
+class TestLink:
+    def test_unit_transfer_time_is_inverse_bandwidth(self):
+        link = Link(bandwidth=100 * MiB, latency=0.0)
+        assert link.unit_transfer_time == pytest.approx(1.0 / (100 * MiB))
+
+    def test_transfer_time_includes_latency(self):
+        link = Link(bandwidth=100 * MiB, latency=1e-4)
+        assert link.transfer_time(100 * MiB) == pytest.approx(1.0 + 1e-4)
+
+    def test_zero_bytes_free(self):
+        assert Link().transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Link().transfer_time(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=0)
+        with pytest.raises(ValueError):
+            Link(latency=-1)
+
+    def test_gige_constant_close_to_line_rate(self):
+        # payload rate below the 125 MB/s theoretical line rate
+        assert 100 * MiB < GIGABIT_ETHERNET.bandwidth < 125 * 1e6
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            GIGABIT_ETHERNET.bandwidth = 1.0  # type: ignore[misc]

@@ -1,0 +1,90 @@
+"""Tests for the trace replay engine."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.layouts import FixedStripeLayout
+from repro.pfs import HybridPFS, replay_trace, run_workload
+from repro.schemes.base import LayoutView
+from repro.tracing import IOCollector, Trace, TraceRecord
+from repro.units import KiB, MiB
+
+
+def rec(offset, size, ts, rank=0, op="write", file="f"):
+    return TraceRecord(offset=offset, timestamp=ts, rank=rank, size=size, op=op, file=file)
+
+
+def simple_view(spec, stripe=64 * KiB):
+    return LayoutView({}, default=FixedStripeLayout(spec.server_ids, stripe, obj="f"))
+
+
+@pytest.fixture
+def spec():
+    return ClusterSpec(num_hservers=2, num_sservers=2)
+
+
+class TestReplay:
+    def test_metrics_accounting(self, spec):
+        trace = Trace([rec(i * 64 * KiB, 64 * KiB, float(i)) for i in range(4)])
+        metrics = run_workload(spec, simple_view(spec), trace)
+        assert metrics.total_bytes == 4 * 64 * KiB
+        assert metrics.requests == 4
+        assert metrics.makespan > 0
+        assert metrics.bandwidth > 0
+        assert metrics.read_bytes == 0
+        assert metrics.write_bytes == 4 * 64 * KiB
+
+    def test_ranks_run_concurrently(self, spec):
+        # two ranks, same work: makespan should be well below 2x serial
+        one = Trace([rec(i * 64 * KiB, 64 * KiB, float(i)) for i in range(8)])
+        both = Trace(
+            [rec(i * 64 * KiB, 64 * KiB, float(i)) for i in range(8)]
+            + [rec((8 + i) * 64 * KiB, 64 * KiB, float(i), rank=1) for i in range(8)]
+        )
+        m1 = run_workload(spec, simple_view(spec), one)
+        m2 = run_workload(spec, simple_view(spec), both)
+        assert m2.makespan < 1.8 * m1.makespan
+
+    def test_rank_requests_serialized(self, spec):
+        # one rank's requests never overlap: makespan == sum of latencies
+        trace = Trace([rec(i * MiB, 64 * KiB, float(i)) for i in range(4)])
+        metrics = run_workload(spec, simple_view(spec), trace, keep_latencies=True)
+        assert len(metrics.latencies) == 4
+        assert metrics.makespan == pytest.approx(sum(metrics.latencies))
+
+    def test_determinism(self, spec):
+        trace = Trace(
+            [rec(i * 64 * KiB, 64 * KiB, float(i % 3), rank=i % 3) for i in range(12)]
+        )
+        a = run_workload(spec, simple_view(spec), trace)
+        b = run_workload(spec, simple_view(spec), trace)
+        assert a.makespan == b.makespan
+        assert a.per_server_busy == b.per_server_busy
+
+    def test_empty_trace(self, spec):
+        metrics = run_workload(spec, simple_view(spec), Trace([]))
+        assert metrics.makespan == 0.0
+        assert metrics.bandwidth == 0.0
+
+    def test_load_imbalance_metric(self, spec):
+        trace = Trace([rec(i * 64 * KiB, 64 * KiB, float(i)) for i in range(16)])
+        metrics = run_workload(spec, simple_view(spec), trace)
+        assert metrics.load_imbalance() >= 1.0
+
+    def test_collector_hook_records_requests(self, spec):
+        trace = Trace([rec(i * 64 * KiB, 64 * KiB, float(i)) for i in range(3)])
+        collector = IOCollector()
+        pfs = HybridPFS(spec)
+        replay_trace(pfs, simple_view(spec), trace, collector=collector)
+        assert len(collector) == 3
+        # collector timestamps are simulated times, not wall-clock
+        recorded = collector.trace(sort_by_offset=False)
+        assert recorded[0].timestamp == 0.0
+
+    def test_shared_pfs_sequential_replays(self, spec):
+        trace = Trace([rec(0, 64 * KiB, 0.0)])
+        pfs = HybridPFS(spec)
+        m1 = replay_trace(pfs, simple_view(spec), trace)
+        m2 = replay_trace(pfs, simple_view(spec), trace)
+        assert m1.total_bytes == m2.total_bytes
+        assert m2.makespan > 0

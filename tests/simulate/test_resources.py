@@ -1,0 +1,116 @@
+"""Tests for FIFO resources (single- and multi-channel)."""
+
+import pytest
+
+from repro.simulate import FIFOResource, Simulator
+
+
+def drain(sim):
+    sim.run()
+
+
+class TestSingleChannel:
+    def test_back_to_back_service(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        c1 = res.submit(2.0)
+        c2 = res.submit(3.0)
+        drain(sim)
+        assert c1.value.start == 0.0 and c1.value.finish == 2.0
+        assert c2.value.start == 2.0 and c2.value.finish == 5.0
+
+    def test_wait_time_recorded(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        res.submit(2.0)
+        c2 = res.submit(1.0)
+        drain(sim)
+        assert c2.value.wait == 2.0
+
+    def test_idle_resource_starts_immediately(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        c = res.submit(1.0)
+        sim.run()
+        assert c.value.start == 5.0
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        res.submit(2.0)
+        res.submit(3.0)
+        drain(sim)
+        assert res.busy_time == 5.0
+        assert res.served == 2
+
+    def test_zero_duration_allowed(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        c = res.submit(0.0)
+        drain(sim)
+        assert c.value.finish == 0.0
+
+    def test_negative_duration_rejected(self):
+        res = FIFOResource(Simulator())
+        with pytest.raises(ValueError):
+            res.submit(-1.0)
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        res.submit(2.0)
+        drain(sim)
+        assert res.utilization(4.0) == pytest.approx(0.5)
+        assert res.utilization(0.0) == 0.0
+
+    def test_schedule_not_before(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        record, _ = res.schedule(1.0, not_before=10.0)
+        assert record.start == 10.0 and record.finish == 11.0
+
+    def test_records_kept_when_enabled(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        res.keep_records = True
+        res.submit(1.0, tag="a")
+        drain(sim)
+        assert len(res.records) == 1 and res.records[0].tag == "a"
+
+
+class TestMultiChannel:
+    def test_parallel_channels_overlap(self):
+        sim = Simulator()
+        res = FIFOResource(sim, capacity=2)
+        c1 = res.submit(2.0)
+        c2 = res.submit(2.0)
+        c3 = res.submit(2.0)
+        drain(sim)
+        assert c1.value.start == 0.0
+        assert c2.value.start == 0.0  # second channel
+        assert c3.value.start == 2.0  # queues behind the earliest free
+
+    def test_busy_until_is_max_tail(self):
+        sim = Simulator()
+        res = FIFOResource(sim, capacity=2)
+        res.submit(1.0)
+        res.submit(5.0)
+        assert res.busy_until == 5.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FIFOResource(Simulator(), capacity=0)
+
+    def test_k_channels_give_k_speedup_for_uniform_work(self):
+        sim1, sim4 = Simulator(), Simulator()
+        serial = FIFOResource(sim1, capacity=1)
+        parallel = FIFOResource(sim4, capacity=4)
+        for _ in range(8):
+            serial.submit(1.0)
+            parallel.submit(1.0)
+        t_serial = sim1.run()
+        t_parallel = sim4.run()
+        assert t_serial == 8.0
+        assert t_parallel == 2.0

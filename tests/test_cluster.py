@@ -1,0 +1,97 @@
+"""Tests for the cluster specification."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.devices import HDD, SSD
+from repro.exceptions import ConfigurationError
+
+
+class TestClusterSpec:
+    def test_paper_defaults(self):
+        spec = ClusterSpec()
+        assert spec.M == 6 and spec.N == 2
+        assert spec.num_clients == 8
+        assert spec.num_servers == 8
+
+    def test_server_id_convention(self):
+        spec = ClusterSpec(num_hservers=3, num_sservers=2)
+        assert spec.hserver_ids == (0, 1, 2)
+        assert spec.sserver_ids == (3, 4)
+        assert spec.server_ids == (0, 1, 2, 3, 4)
+
+    def test_device_for(self):
+        spec = ClusterSpec(num_hservers=1, num_sservers=1)
+        assert isinstance(spec.device_for(0), HDD)
+        assert isinstance(spec.device_for(1), SSD)
+        with pytest.raises(ConfigurationError):
+            spec.device_for(2)
+
+    def test_is_hserver(self):
+        spec = ClusterSpec(num_hservers=2, num_sservers=1)
+        assert spec.is_hserver(1)
+        assert not spec.is_hserver(2)
+        with pytest.raises(ConfigurationError):
+            spec.is_hserver(5)
+
+    def test_with_ratio(self):
+        spec = ClusterSpec().with_ratio(4, 4)
+        assert spec.M == 4 and spec.N == 4
+        assert spec.num_clients == 8  # preserved
+
+    def test_no_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(num_hservers=0, num_sservers=0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(num_hservers=-1)
+
+    def test_no_clients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(num_clients=0)
+
+    def test_homogeneous_clusters_allowed(self):
+        assert ClusterSpec(num_sservers=0).N == 0
+        assert ClusterSpec(num_hservers=0, num_sservers=2).M == 0
+
+
+class TestCostModelParamsFromCluster:
+    def test_table1_values(self):
+        from repro.core import CostModelParams
+
+        spec = ClusterSpec()
+        p = CostModelParams.from_cluster(spec)
+        assert p.M == 6 and p.N == 2
+        assert p.t == pytest.approx(spec.link.unit_transfer_time)
+        assert p.alpha_h == pytest.approx(spec.hdd.alpha("read"))
+        assert p.beta_h == pytest.approx(spec.hdd.beta("read"))
+        # SSD startups amortized over internal channels
+        assert p.alpha_sr == pytest.approx(spec.ssd.read_startup / spec.ssd.channels)
+        assert p.alpha_sw == pytest.approx(spec.ssd.write_startup / spec.ssd.channels)
+        assert p.net_latency == spec.link.latency
+
+    def test_op_specific_accessors(self):
+        from repro.core import CostModelParams
+
+        p = CostModelParams.from_cluster(ClusterSpec())
+        assert p.sserver_alpha("read") == p.alpha_sr
+        assert p.sserver_alpha("write") == p.alpha_sw
+        assert p.sserver_beta("read") == p.beta_sr
+        assert p.sserver_beta("write") == p.beta_sw
+        with pytest.raises(ConfigurationError):
+            p.sserver_alpha("trim")
+
+    def test_validation(self):
+        from repro.core import CostModelParams
+
+        with pytest.raises(ConfigurationError):
+            CostModelParams(
+                M=0, N=0, t=0, alpha_h=0, beta_h=0,
+                alpha_sr=0, beta_sr=0, alpha_sw=0, beta_sw=0,
+            )
+        with pytest.raises(ConfigurationError):
+            CostModelParams(
+                M=1, N=1, t=-1, alpha_h=0, beta_h=0,
+                alpha_sr=0, beta_sr=0, alpha_sw=0, beta_sw=0,
+            )

@@ -1,0 +1,97 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bandwidth,
+    format_size,
+    format_time,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_zero(self):
+        assert parse_size(0) == 0
+
+    def test_float_rounds(self):
+        assert parse_size(4095.6) == 4096
+
+    def test_kb_is_binary(self):
+        # the paper's "64KB" stripes mean 65536 bytes
+        assert parse_size("64KB") == 64 * KiB
+
+    def test_kib_suffix(self):
+        assert parse_size("4 KiB") == 4096
+
+    def test_mb(self):
+        assert parse_size("1.5MB") == int(1.5 * MiB)
+
+    def test_gb(self):
+        assert parse_size("2GB") == 2 * GiB
+
+    def test_bare_number_string(self):
+        assert parse_size("512") == 512
+
+    def test_bytes_suffix(self):
+        assert parse_size("100B") == 100
+
+    def test_case_insensitive(self):
+        assert parse_size("64kb") == 64 * KiB
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            parse_size(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("lots of bytes")
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            parse_size(None)
+
+
+class TestFormatters:
+    def test_format_size_exact_unit(self):
+        assert format_size(64 * KiB) == "64KiB"
+
+    def test_format_size_fractional(self):
+        assert format_size(1536) == "1.50KiB"
+
+    def test_format_size_bytes(self):
+        assert format_size(123) == "123B"
+
+    def test_format_size_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(2 * MiB) == "2.00 MiB/s"
+
+    def test_format_time_seconds(self):
+        assert format_time(1.5) == "1.500s"
+
+    def test_format_time_millis(self):
+        assert format_time(0.0025) == "2.500ms"
+
+    def test_format_time_micros(self):
+        assert format_time(25e-6) == "25.0us"
+
+    def test_format_time_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-0.1)
+
+    def test_roundtrip(self):
+        for n in (0, 1, 512, 4096, 64 * KiB, 3 * MiB, GiB):
+            assert parse_size(format_size(n)) == n

@@ -1,0 +1,59 @@
+"""Tests for the IOSIG-like collector."""
+
+from repro.tracing import IOCollector
+
+
+class TestIOCollector:
+    def test_records_accumulate(self):
+        c = IOCollector()
+        c.record(rank=0, op="read", offset=0, size=100)
+        c.record(rank=1, op="write", offset=100, size=200)
+        assert len(c) == 2
+
+    def test_trace_is_offset_sorted_by_default(self):
+        c = IOCollector()
+        c.record(rank=0, op="read", offset=500, size=10)
+        c.record(rank=0, op="read", offset=100, size=10)
+        offsets = [r.offset for r in c.trace()]
+        assert offsets == [100, 500]
+
+    def test_issue_order_preserved_when_requested(self):
+        c = IOCollector()
+        c.record(rank=0, op="read", offset=500, size=10)
+        c.record(rank=0, op="read", offset=100, size=10)
+        offsets = [r.offset for r in c.trace(sort_by_offset=False)]
+        assert offsets == [500, 100]
+
+    def test_auto_timestamps_monotone(self):
+        c = IOCollector()
+        r1 = c.record(rank=0, op="read", offset=0, size=1)
+        r2 = c.record(rank=0, op="read", offset=1, size=1)
+        assert r2.timestamp > r1.timestamp
+
+    def test_custom_clock(self):
+        time = [42.0]
+        c = IOCollector(clock=lambda: time[0])
+        r = c.record(rank=0, op="read", offset=0, size=1)
+        assert r.timestamp == 42.0
+
+    def test_explicit_timestamp_wins(self):
+        c = IOCollector()
+        r = c.record(rank=0, op="read", offset=0, size=1, timestamp=7.5)
+        assert r.timestamp == 7.5
+
+    def test_disabled_collector_drops_records(self):
+        c = IOCollector()
+        c.enabled = False
+        c.record(rank=0, op="read", offset=0, size=1)
+        assert len(c) == 0
+
+    def test_pid_defaults_to_rank(self):
+        c = IOCollector()
+        r = c.record(rank=3, op="read", offset=0, size=1)
+        assert r.pid == 3
+
+    def test_clear(self):
+        c = IOCollector()
+        c.record(rank=0, op="read", offset=0, size=1)
+        c.clear()
+        assert len(c) == 0

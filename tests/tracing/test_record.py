@@ -1,0 +1,95 @@
+"""Tests for trace records and the Trace container."""
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.tracing import Trace, TraceRecord
+
+
+def rec(offset=0, size=100, rank=0, op="read", ts=0.0, file="f"):
+    return TraceRecord(
+        offset=offset, timestamp=ts, rank=rank, op=op, size=size, file=file
+    )
+
+
+class TestTraceRecord:
+    def test_end(self):
+        assert rec(offset=10, size=5).end == 15
+
+    def test_shifted(self):
+        assert rec(offset=10).shifted(90).offset == 100
+
+    def test_ordering_by_offset_first(self):
+        assert rec(offset=5, ts=9.0) < rec(offset=6, ts=0.0)
+
+    def test_invalid_offset(self):
+        with pytest.raises(TraceError):
+            rec(offset=-1)
+
+    def test_invalid_size(self):
+        with pytest.raises(TraceError):
+            rec(size=0)
+
+    def test_invalid_op(self):
+        with pytest.raises(TraceError):
+            rec(op="append")
+
+    def test_invalid_timestamp(self):
+        with pytest.raises(TraceError):
+            rec(ts=-1.0)
+
+    def test_hashable(self):
+        assert len({rec(), rec()}) == 1
+
+
+class TestTrace:
+    def test_len_and_indexing(self):
+        t = Trace([rec(offset=0), rec(offset=10)])
+        assert len(t) == 2
+        assert t[1].offset == 10
+
+    def test_slicing_returns_trace(self):
+        t = Trace([rec(offset=i * 10) for i in range(5)])
+        assert isinstance(t[1:3], Trace)
+        assert len(t[1:3]) == 2
+
+    def test_sorted_by_offset(self):
+        t = Trace([rec(offset=30), rec(offset=10), rec(offset=20)])
+        assert [r.offset for r in t.sorted_by_offset()] == [10, 20, 30]
+
+    def test_sorted_by_time(self):
+        t = Trace([rec(ts=3.0), rec(ts=1.0, offset=10), rec(ts=2.0, offset=20)])
+        assert [r.timestamp for r in t.sorted_by_time()] == [1.0, 2.0, 3.0]
+
+    def test_files_first_appearance_order(self):
+        t = Trace([rec(file="b"), rec(file="a", offset=10), rec(file="b", offset=20)])
+        assert t.files() == ("b", "a")
+
+    def test_for_file(self):
+        t = Trace([rec(file="a"), rec(file="b", offset=10)])
+        assert len(t.for_file("a")) == 1
+
+    def test_ranks_sorted(self):
+        t = Trace([rec(rank=3), rec(rank=1, offset=10)])
+        assert t.ranks() == (1, 3)
+
+    def test_total_bytes(self):
+        t = Trace([rec(size=100), rec(size=200, offset=500)])
+        assert t.total_bytes() == 300
+
+    def test_extent(self):
+        t = Trace([rec(offset=100, size=50), rec(offset=10, size=5)])
+        assert t.extent() == (10, 150)
+
+    def test_empty_extent(self):
+        assert Trace([]).extent() == (0, 0)
+
+    def test_max_size(self):
+        t = Trace([rec(size=5), rec(size=500, offset=100)])
+        assert t.max_size() == 500
+        assert Trace([]).max_size() == 0
+
+    def test_equality_and_hash(self):
+        a = Trace([rec()])
+        b = Trace([rec()])
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,91 @@
+"""Tests for trace persistence."""
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.tracing import (
+    Trace,
+    TraceRecord,
+    load_trace,
+    load_trace_dir,
+    save_trace,
+    save_trace_per_rank,
+)
+
+
+def sample_trace():
+    return Trace(
+        [
+            TraceRecord(
+                offset=i * 1000,
+                timestamp=float(i) / 3,
+                rank=i % 3,
+                pid=i % 3,
+                fd=7,
+                file="data.bin",
+                op="write" if i % 2 else "read",
+                size=512 + i,
+            )
+            for i in range(12)
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_float_timestamps_exact(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert [r.timestamp for r in loaded] == [r.timestamp for r in trace]
+
+    def test_per_rank_split_and_merge(self, tmp_path):
+        trace = sample_trace()
+        paths = save_trace_per_rank(trace, tmp_path)
+        assert len(paths) == 3  # ranks 0, 1, 2
+        merged = load_trace_dir(tmp_path)
+        assert merged == trace.sorted_by_offset()
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_trace(Trace([]), path)
+        assert len(load_trace(path)) == 0
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("pid,rank,fd,file,op,offset,size,timestamp\n1,2\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_bad_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "pid,rank,fd,file,op,offset,size,timestamp\n"
+            "0,0,0,f,read,NOT_A_NUMBER,10,0.0\n"
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace_dir(tmp_path)

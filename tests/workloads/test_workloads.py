@@ -1,0 +1,210 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tracing import trace_statistics
+from repro.units import GiB, KiB, MiB
+from repro.workloads import (
+    BTIOWorkload,
+    CholeskyWorkload,
+    HPIOWorkload,
+    IORMixedProcsWorkload,
+    IORWorkload,
+    LANLWorkload,
+    LUWorkload,
+    LOOP_PATTERN,
+    MAX_READ,
+    MIN_READ,
+    READ_BOUNDS,
+    WRITE_BOUNDS,
+    WRITE_SIZE,
+)
+
+
+class TestIOR:
+    def test_uniform_sizes(self):
+        trace = IORWorkload(
+            num_processes=4, request_sizes=64 * KiB, total_size=1 * MiB
+        ).trace("write")
+        stats = trace_statistics(trace)
+        assert stats.distinct_sizes == 1
+        assert stats.total_bytes == 1 * MiB
+
+    def test_mixed_sizes_present(self):
+        trace = IORWorkload(
+            num_processes=4,
+            request_sizes=[64 * KiB, 128 * KiB],
+            total_size=4 * MiB,
+        ).trace("write")
+        sizes = {r.size for r in trace}
+        assert sizes == {64 * KiB, 128 * KiB}
+
+    def test_offsets_disjoint(self):
+        trace = IORWorkload(
+            num_processes=4, request_sizes=[16 * KiB, 64 * KiB], total_size=2 * MiB
+        ).trace("write")
+        spans = sorted((r.offset, r.end) for r in trace)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_shuffle_determinism(self):
+        w = IORWorkload(num_processes=2, total_size=1 * MiB, seed=3)
+        assert w.trace("read") == w.trace("read")
+
+    def test_label(self):
+        w = IORWorkload(request_sizes=[128 * KiB, 256 * KiB])
+        assert w.label() == "128+256"
+
+    def test_op_propagates(self):
+        trace = IORWorkload(num_processes=2, total_size=1 * MiB).trace("read")
+        assert all(r.op == "read" for r in trace)
+
+    def test_too_small_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IORWorkload(request_sizes=1 * MiB, total_size=1 * KiB).trace()
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            IORWorkload(num_processes=0)
+        with pytest.raises(ConfigurationError):
+            IORWorkload(request_sizes=[])
+
+
+class TestIORMixedProcs:
+    def test_rank_groups(self):
+        trace = IORMixedProcsWorkload(
+            process_groups=(2, 4), request_size=64 * KiB, bytes_per_group=1 * MiB
+        ).trace("write")
+        ranks = trace.ranks()
+        assert ranks == tuple(range(6))
+
+    def test_groups_access_disjoint_parts(self):
+        w = IORMixedProcsWorkload(
+            process_groups=(2, 4), request_size=64 * KiB, bytes_per_group=1 * MiB
+        )
+        trace = w.trace("write")
+        group_a = [r for r in trace if r.rank < 2]
+        group_b = [r for r in trace if r.rank >= 2]
+        assert max(r.end for r in group_a) <= min(r.offset for r in group_b)
+
+    def test_label(self):
+        assert IORMixedProcsWorkload(process_groups=(8, 32)).label() == "8+32"
+
+
+class TestHPIO:
+    def test_paper_parameters(self):
+        w = HPIOWorkload(num_processes=16, region_count=4096)
+        assert w.groups == 256
+
+    def test_region_sizes_cycle(self):
+        trace = HPIOWorkload(
+            num_processes=2,
+            region_count=6,
+            region_sizes=(16 * KiB, 32 * KiB, 64 * KiB),
+        ).trace("write")
+        sizes = [r.size for r in trace]
+        assert sizes == [16 * KiB] * 2 + [32 * KiB] * 2 + [64 * KiB] * 2
+
+    def test_spacing(self):
+        trace = HPIOWorkload(
+            num_processes=1, region_count=2, region_sizes=4 * KiB, region_spacing=1024
+        ).trace("write")
+        assert trace[1].offset - trace[0].end == 1024
+
+    def test_count_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            HPIOWorkload(num_processes=3, region_count=10)
+
+
+class TestBTIO:
+    def test_square_process_count_required(self):
+        with pytest.raises(ConfigurationError):
+            BTIOWorkload(num_processes=10)
+
+    def test_class_sizes_interleave(self):
+        w = BTIOWorkload(num_processes=4, steps=4, scale=1 / 16)
+        trace = w.trace("write")
+        sizes = [trace[i].size for i in range(0, len(trace), 4)]
+        assert sizes[0] == w.request_size("B")
+        assert sizes[1] == w.request_size("C")
+        assert sizes[0] != sizes[1]
+
+    def test_class_c_larger_than_b(self):
+        w = BTIOWorkload(num_processes=9)
+        assert w.request_size("C") > w.request_size("B")
+
+    def test_unknown_class(self):
+        with pytest.raises(ConfigurationError):
+            BTIOWorkload(num_processes=4, classes=("Z",))
+
+
+class TestLANL:
+    def test_loop_pattern_is_the_papers(self):
+        assert LOOP_PATTERN == (16, 128 * KiB - 16, 128 * KiB)
+
+    def test_request_sequence_regenerates_fig3(self):
+        w = LANLWorkload(loops=3)
+        assert w.request_sequence() == list(LOOP_PATTERN) * 3
+
+    def test_per_process_areas_disjoint(self):
+        w = LANLWorkload(num_processes=2, loops=2)
+        trace = w.trace("write")
+        a = [r for r in trace if r.rank == 0]
+        b = [r for r in trace if r.rank == 1]
+        assert max(r.end for r in a) <= min(r.offset for r in b)
+
+    def test_loop_layout_contiguous_per_process(self):
+        w = LANLWorkload(num_processes=1, loops=2)
+        spans = sorted((r.offset, r.end) for r in w.trace("write"))
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 == s2  # back-to-back within the area
+
+
+class TestLU:
+    def test_paper_request_sizes(self):
+        w = LUWorkload(num_processes=2, slabs=8)
+        trace = w.trace()
+        writes = {r.size for r in trace if r.op == "write"}
+        reads = sorted({r.size for r in trace if r.op == "read"})
+        assert writes == {WRITE_SIZE}
+        assert reads[0] == MIN_READ
+        assert reads[-1] == MAX_READ
+
+    def test_one_file_per_process(self):
+        w = LUWorkload(num_processes=4, slabs=2)
+        assert len(w.trace().files()) == 4
+
+    def test_op_filter(self):
+        w = LUWorkload(num_processes=2, slabs=2)
+        assert all(r.op == "read" for r in w.trace("read"))
+        assert all(r.op == "write" for r in w.trace("write"))
+
+
+class TestCholesky:
+    def test_paper_bounds_present(self):
+        w = CholeskyWorkload(num_processes=2, panels=6)
+        trace = w.trace()
+        reads = sorted(r.size for r in trace if r.op == "read")
+        writes = sorted(r.size for r in trace if r.op == "write")
+        assert reads[0] == READ_BOUNDS[0] and reads[-1] == READ_BOUNDS[1]
+        assert writes[0] == WRITE_BOUNDS[0] and writes[-1] == WRITE_BOUNDS[1]
+
+    def test_sizes_within_bounds(self):
+        w = CholeskyWorkload(num_processes=2, panels=20)
+        for r in w.trace():
+            lo, hi = READ_BOUNDS if r.op == "read" else WRITE_BOUNDS
+            assert lo <= r.size <= hi
+
+    def test_seeded_determinism(self):
+        a = CholeskyWorkload(seed=5).trace()
+        b = CholeskyWorkload(seed=5).trace()
+        assert a == b
+
+    def test_skewed_distribution(self):
+        """Log-uniform sizes: the median is far below the mean."""
+        import numpy as np
+
+        trace = CholeskyWorkload(num_processes=1, panels=200).trace("read")
+        sizes = np.array([r.size for r in trace])
+        assert np.median(sizes) < sizes.mean() / 2
