@@ -7,7 +7,6 @@ well past the average (Cholesky-like skew): adaptive must not lose.
 
 from repro.cluster import ClusterSpec
 from repro.harness.experiment import run_scheme
-from repro.units import MiB
 from repro.workloads import CholeskyWorkload
 
 

@@ -1,0 +1,118 @@
+"""RSSD search-engine microbenchmark: vectorized grid vs scalar loop.
+
+One synthetic region, 64 candidates per axis (the adaptive bounds put
+``B_h = B_s = r_max = 256 KB`` on the default cluster, i.e. 64 nonzero
+4 KB steps on each axis), searched by both engines in both cost modes.
+Timing is best-of-``REPEATS`` wall clock; the grid engine must clear a
+5x speedup over the scalar reference on the same candidate set.
+
+Results are written to ``BENCH_rssd.json`` (override with the
+``REPRO_BENCH_OUT`` environment variable) through the
+:mod:`harness.bench` reporter, which CI uploads as an artifact and
+gates against ``benchmarks/baselines/BENCH_rssd.json``.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+
+from harness.bench import BenchReport, PhaseResult  # noqa: E402
+
+from repro.cluster import ClusterSpec  # noqa: E402
+from repro.core.determinator import determine_stripes  # noqa: E402
+from repro.core.params import CostModelParams  # noqa: E402
+from repro.units import KiB  # noqa: E402
+
+#: requests in the benchmark region — large enough that the per-request
+#: axis dominates, small enough that the scalar reference finishes fast
+NUM_REQUESTS = 128
+#: largest request: with the default 6H+2S cluster the adaptive bound
+#: threshold is (M+N) * 128 KB = 1 MB, so bounds collapse to r_max and
+#: each search axis holds r_max / 4 KB = 64 candidate steps
+R_MAX = 256 * KiB
+#: minimum acceptable grid-over-scalar speedup (acceptance criterion)
+MIN_SPEEDUP = 5.0
+REPEATS = 3
+
+
+def make_region(seed: int = 7):
+    rng = np.random.default_rng(seed)
+    offsets = rng.integers(0, 1 << 24, NUM_REQUESTS)
+    lengths = rng.integers(4 * KiB, R_MAX, NUM_REQUESTS)
+    lengths[0] = R_MAX  # pin r_max so the bounds are deterministic
+    is_read = rng.random(NUM_REQUESTS) < 0.5
+    conc = rng.integers(1, 16, NUM_REQUESTS)
+    bursts = rng.integers(0, NUM_REQUESTS // 4, NUM_REQUESTS)
+    return offsets, lengths, is_read, conc, bursts
+
+
+def best_of(fn, repeats: int = REPEATS):
+    """Best wall time over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def report():
+    rep = BenchReport(bench="rssd-search")
+    rep.collect_environment()
+    yield rep
+    out = os.environ.get("REPRO_BENCH_OUT", str(REPO_ROOT / "BENCH_rssd.json"))
+    rep.write(out)
+    print(f"\nwrote {out}")
+
+
+@pytest.mark.parametrize("mode", ["batch", "burst"])
+def test_grid_engine_speedup(report, mode):
+    params = CostModelParams.from_cluster(ClusterSpec())
+    offsets, lengths, is_read, conc, bursts = make_region()
+    kwargs = dict(step=4 * KiB, max_axis_candidates=64)
+    if mode == "burst":
+        kwargs["burst_ids"] = bursts
+
+    def search(engine):
+        return determine_stripes(
+            params, offsets, lengths, is_read, conc, engine=engine, **kwargs
+        )
+
+    t_scalar, scalar = best_of(lambda: search("scalar"))
+    t_grid, grid = best_of(lambda: search("grid"))
+
+    # same search, same answer — speed is worthless if the result moved
+    assert grid.pair == scalar.pair
+    assert grid.cost == scalar.cost
+    assert grid.candidates == scalar.candidates
+
+    report.add(
+        PhaseResult.from_timing(
+            f"scalar-{mode}", t_scalar, scalar.candidates
+        )
+    )
+    report.add(
+        PhaseResult.from_timing(
+            f"grid-{mode}", t_grid, grid.candidates, scalar_wall_s=t_scalar
+        )
+    )
+
+    speedup = t_scalar / t_grid
+    print(
+        f"\n{mode}: {grid.candidates} candidates, "
+        f"scalar {t_scalar * 1e3:.1f} ms, grid {t_grid * 1e3:.1f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"{mode} grid engine only {speedup:.1f}x faster than scalar "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

@@ -1,0 +1,192 @@
+"""Machine-readable benchmark reporting and regression gating.
+
+The RSSD microbenchmark (``benchmarks/test_perf_rssd.py``) measures the
+vectorized search engine against the scalar reference loop and records
+each phase here as a :class:`PhaseResult` — wall time, candidate count,
+candidates/second and the speedup over the scalar engine.  The report
+serializes to a small JSON document (``BENCH_rssd.json``) that CI
+uploads as an artifact and gates with :func:`compare` against the
+committed baseline::
+
+    python harness/bench.py compare BENCH_rssd.json \
+        benchmarks/baselines/BENCH_rssd.json --tolerance 0.30
+
+The gate is one-sided: only a *drop* in candidates/second beyond the
+tolerance fails, so faster machines (CI runners vs the baseline box)
+always pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+__all__ = ["PhaseResult", "BenchReport", "compare", "main", "SCHEMA"]
+
+
+@dataclass
+class PhaseResult:
+    """One timed phase of a benchmark run."""
+
+    name: str
+    wall_s: float
+    candidates: int
+    candidates_per_sec: float
+    speedup_vs_scalar: float | None = None
+
+    @classmethod
+    def from_timing(
+        cls,
+        name: str,
+        wall_s: float,
+        candidates: int,
+        scalar_wall_s: float | None = None,
+    ) -> "PhaseResult":
+        return cls(
+            name=name,
+            wall_s=wall_s,
+            candidates=candidates,
+            candidates_per_sec=candidates / wall_s if wall_s > 0 else 0.0,
+            speedup_vs_scalar=(
+                scalar_wall_s / wall_s
+                if scalar_wall_s is not None and wall_s > 0
+                else None
+            ),
+        )
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark report: phases plus environment provenance."""
+
+    bench: str
+    phases: list[PhaseResult] = field(default_factory=list)
+    environment: dict = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    def add(self, phase: PhaseResult) -> None:
+        self.phases.append(phase)
+
+    def phase(self, name: str) -> PhaseResult | None:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        return None
+
+    def collect_environment(self) -> None:
+        import numpy
+
+        self.environment = {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+            "cpus": __import__("os").cpu_count(),
+        }
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(asdict(self), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchReport":
+        data = json.loads(Path(path).read_text())
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported schema {data.get('schema')!r}, "
+                f"expected {SCHEMA!r}"
+            )
+        return cls(
+            bench=data["bench"],
+            phases=[PhaseResult(**p) for p in data.get("phases", [])],
+            environment=data.get("environment", {}),
+            schema=data["schema"],
+        )
+
+
+def compare(
+    current: BenchReport, baseline: BenchReport, tolerance: float = 0.30
+) -> list[str]:
+    """Return regression messages (empty list == gate passes).
+
+    Every phase present in the baseline must exist in the current
+    report with ``candidates_per_sec`` no more than ``tolerance``
+    (fractional) below the baseline's.  Improvements never fail.
+    """
+    failures: list[str] = []
+    for base in baseline.phases:
+        cur = current.phase(base.name)
+        if cur is None:
+            failures.append(f"{base.name}: missing from current report")
+            continue
+        floor = base.candidates_per_sec * (1.0 - tolerance)
+        if cur.candidates_per_sec < floor:
+            failures.append(
+                f"{base.name}: {cur.candidates_per_sec:,.0f} cand/s is "
+                f"{1.0 - cur.candidates_per_sec / base.candidates_per_sec:.0%}"
+                f" below baseline {base.candidates_per_sec:,.0f}"
+                f" (tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench", description="Benchmark report tooling."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmp_p = sub.add_parser("compare", help="gate a report against a committed baseline")
+    cmp_p.add_argument("current", help="freshly produced report JSON")
+    cmp_p.add_argument("baseline", help="committed baseline JSON")
+    cmp_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop in candidates/sec (default 0.30)",
+    )
+
+    show_p = sub.add_parser("show", help="pretty-print a report")
+    show_p.add_argument("report", help="report JSON to print")
+
+    args = parser.parse_args(argv)
+    if args.command == "show":
+        report = BenchReport.load(args.report)
+        print(f"{report.bench}  [{report.schema}]")
+        for key, value in report.environment.items():
+            print(f"  {key}: {value}")
+        for p in report.phases:
+            speedup = (
+                f"  ({p.speedup_vs_scalar:.1f}x vs scalar)"
+                if p.speedup_vs_scalar
+                else ""
+            )
+            print(
+                f"  {p.name}: {p.wall_s * 1e3:.1f} ms, "
+                f"{p.candidates_per_sec:,.0f} cand/s{speedup}"
+            )
+        return 0
+
+    current = BenchReport.load(args.current)
+    baseline = BenchReport.load(args.baseline)
+    failures = compare(current, baseline, tolerance=args.tolerance)
+    if failures:
+        print("benchmark regression gate FAILED:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print(
+        f"benchmark gate passed: {len(baseline.phases)} phase(s) within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,10 +46,21 @@ from __future__ import annotations
 import numpy as np
 
 from ..devices.base import READ, WRITE
-from ..layouts.extents import per_server_bytes_batch
+from ..layouts.extents import (
+    max_server_bytes_grid,
+    per_server_bytes_batch,
+    per_server_bytes_grid,
+)
 from .params import CostModelParams
 
-__all__ = ["request_cost", "batch_costs", "region_cost", "burst_costs"]
+__all__ = [
+    "request_cost",
+    "batch_costs",
+    "region_cost",
+    "burst_costs",
+    "batch_costs_grid",
+    "burst_costs_grid",
+]
 
 
 def _effective_stripes(params: CostModelParams, h: int, s: int) -> tuple[int, int]:
@@ -177,6 +188,11 @@ def burst_costs(
 
     Returns one completion time per distinct burst id, ordered by
     ``np.unique(burst_ids)``.
+
+    The per-server scatter-sum is a stable sort by burst id followed by
+    ``np.add.reduceat`` along the request axis — the exact accumulation
+    primitive (and order) of :func:`burst_costs_grid`, which is what
+    keeps the scalar and grid search engines bit-identical.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     lengths = np.asarray(lengths, dtype=np.int64)
@@ -190,23 +206,203 @@ def burst_costs(
     B = int(inverse.max()) + 1 if inverse.size else 0
     lam = params.net_latency
     worst = np.zeros(B, dtype=np.float64)
+    if B == 0:
+        return worst
+    # stable order by burst id; traces whose requests already arrive
+    # burst-grouped (the common case after the determinator pre-sorts)
+    # skip the gather copies entirely
+    if np.all(inverse[:-1] <= inverse[1:]):
+        sorted_already = True
+        sorted_inverse = inverse
+    else:
+        sorted_already = False
+        order = np.argsort(inverse, kind="stable")
+        sorted_inverse = inverse[order]
+    # np.unique guarantees every id in [0, B) occurs, so each segment
+    # start exists and reduceat sees B non-empty segments
+    seg_starts = np.searchsorted(sorted_inverse, np.arange(B))
+
+    def segment_sum(vals: np.ndarray) -> np.ndarray:
+        if not sorted_already:
+            vals = vals[order]
+        return np.add.reduceat(vals, seg_starts, axis=0)
 
     if params.M > 0 and h_eff > 0:
-        loads = np.zeros((B, params.M))
-        counts = np.zeros((B, params.M))
-        np.add.at(loads, inverse, h_bytes * (params.t + params.beta_h))
-        np.add.at(counts, inverse, h_bytes > 0)
+        loads = segment_sum(h_bytes * (params.t + params.beta_h))
+        counts = segment_sum((h_bytes > 0).astype(np.float64))
         t_h = counts * (params.alpha_h + lam) + loads
         worst = np.maximum(worst, t_h.max(axis=1))
     if params.N > 0 and s_eff > 0:
         beta = np.where(is_read, params.beta_sr, params.beta_sw)[:, None]
         alpha = np.where(is_read, params.alpha_sr, params.alpha_sw)[:, None]
-        loads = np.zeros((B, params.N))
-        starts = np.zeros((B, params.N))
-        np.add.at(loads, inverse, s_bytes * (params.t + beta))
-        np.add.at(starts, inverse, (s_bytes > 0) * (alpha + lam))
+        loads = segment_sum(s_bytes * (params.t + beta))
+        starts = segment_sum((s_bytes > 0) * (alpha + lam))
         t_s = starts + loads
         worst = np.maximum(worst, t_s.max(axis=1))
+    return worst
+
+
+def batch_costs_grid(
+    params: CostModelParams,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    is_read: np.ndarray,
+    concurrency: np.ndarray,
+    h_arr: np.ndarray,
+    s_arr: np.ndarray,
+) -> np.ndarray:
+    """:func:`batch_costs` broadcast over ``G`` candidate pairs at once.
+
+    ``h_arr`` / ``s_arr`` are 1-D arrays of candidate stripe sizes; the
+    result has shape ``(G, K)`` and row ``g`` is bit-identical to
+    ``batch_costs(params, ..., h_arr[g], s_arr[g])`` — every arithmetic
+    operation is the same elementwise expression with one extra
+    broadcast axis, so the vectorized RSSD search selects exactly the
+    pair the scalar search would.
+
+    Memory is ``O(G * K * (M + N))`` floats; callers evaluating large
+    grids should chunk over the candidate axis (the determinator does).
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    is_read = np.asarray(is_read, dtype=bool)
+    concurrency = np.maximum(np.asarray(concurrency, dtype=np.int64), 1)
+    h_arr = np.asarray(h_arr, dtype=np.int64)
+    s_arr = np.asarray(s_arr, dtype=np.int64)
+    h_eff = h_arr if params.M > 0 else np.zeros_like(h_arr)
+    s_eff = s_arr if params.N > 0 else np.zeros_like(s_arr)
+
+    h_own, s_own = max_server_bytes_grid(
+        offsets, lengths, params.M, params.N, h_eff, s_eff
+    )
+    G, K = h_arr.shape[0], offsets.shape[0]
+    costs = np.zeros((G, K), dtype=np.float64)
+    if G == 0 or K == 0:
+        return costs
+    conc_f = concurrency.astype(np.float64)
+    empty = lengths <= 0
+    length_f = np.where(empty, 1, lengths).astype(np.float64)
+    cycle = (params.M * h_eff + params.N * s_eff).astype(np.float64)
+    # candidates with an empty cycle touch no server at all: every
+    # width below is 0, so a stand-in cycle of 1 keeps their costs 0
+    cyc_col = np.where(cycle > 0.0, cycle, 1.0)[:, None]  # (G, 1)
+    cl = conc_f * length_f  # (K,)
+    conc_gate = (conc_f > 1)[None, :]
+
+    def class_time(width: np.ndarray, own_max: np.ndarray, alpha, beta) -> np.ndarray:
+        """Grid form of the scalar path's per-class completion bound.
+
+        ``width`` is the per-candidate stripe of this server class
+        (shape ``(G,)``), ``own_max`` the ``(G, K)`` byte count of each
+        request's most-loaded server in the class; the result is the
+        ``(G, K)`` per-request bound.  Every term matches
+        :func:`batch_costs` operand for operand, with one algebraic
+        reduction: the scalar path computes the own-server bound per
+        server and then maxes, but within one class all servers share
+        ``p``, ``share``, ``α`` and ``β``, and the bound is monotone
+        (exactly, in IEEE arithmetic — multiplication and addition by
+        non-negative terms preserve order) in the byte count, so maxing
+        the byte counts *first* yields the bit-same result while
+        keeping every temporary at ``(G, K)`` instead of
+        ``(G, K, M_class)``.
+        """
+        width_col = width.astype(np.float64)[:, None]  # (G, 1)
+        windows = np.ceil(width_col / length_f[None, :])  # (G, K)
+        p_raw = cl[None, :] * windows / cyc_col  # (G, K)
+        p_mean = np.clip(p_raw, 1.0, conc_f[None, :])
+        p = np.ceil(p_mean - 1e-9)
+        share = (cl[None, :] * width_col / cyc_col) * (p / p_mean)
+        share = share * conc_gate
+        involved = own_max > 0
+        t_own = involved * (p * alpha + np.maximum(own_max, share) * (params.t + beta))
+        t_burst = (p_raw >= 1.0) * conc_gate * (p * alpha + share * (params.t + beta))
+        return np.maximum(t_own, t_burst)
+
+    lam = params.net_latency
+    if params.M > 0:
+        costs = np.maximum(
+            costs,
+            class_time(h_eff, h_own, params.alpha_h + lam, params.beta_h),
+        )
+    if params.N > 0:
+        beta = np.where(is_read, params.beta_sr, params.beta_sw)[None, :]
+        alpha = np.where(is_read, params.alpha_sr, params.alpha_sw)[None, :]
+        costs = np.maximum(costs, class_time(s_eff, s_own, alpha + lam, beta))
+    costs[:, empty] = 0.0
+    return costs
+
+
+def burst_costs_grid(
+    params: CostModelParams,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    is_read: np.ndarray,
+    burst_ids: np.ndarray,
+    h_arr: np.ndarray,
+    s_arr: np.ndarray,
+) -> np.ndarray:
+    """:func:`burst_costs` broadcast over ``G`` candidate pairs at once.
+
+    Returns shape ``(G, B)`` — row ``g`` is bit-identical to
+    ``burst_costs(params, ..., h_arr[g], s_arr[g])``.  The scalar
+    path's ``np.add.at`` scatter becomes a stable sort by burst id plus
+    ``np.add.reduceat`` along the request axis: within a burst the
+    requests keep their original order, and both primitives accumulate
+    strictly left to right, so the per-server sums are the same floats.
+
+    Memory is ``O(G * K * (M + N))``; chunk over candidates for large
+    grids.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    is_read = np.asarray(is_read, dtype=bool)
+    burst_ids = np.asarray(burst_ids)
+    h_arr = np.asarray(h_arr, dtype=np.int64)
+    s_arr = np.asarray(s_arr, dtype=np.int64)
+    h_eff = h_arr if params.M > 0 else np.zeros_like(h_arr)
+    s_eff = s_arr if params.N > 0 else np.zeros_like(s_arr)
+
+    _, inverse = np.unique(burst_ids, return_inverse=True)
+    G = h_arr.shape[0]
+    B = int(inverse.max()) + 1 if inverse.size else 0
+    worst = np.zeros((G, B), dtype=np.float64)
+    if G == 0 or B == 0:
+        return worst
+
+    # the determinator pre-sorts its requests by burst id, so the
+    # gather is usually a no-op; detect that and skip the large copies
+    if np.all(inverse[:-1] <= inverse[1:]):
+        sorted_already = True
+        sorted_inverse = inverse
+    else:
+        sorted_already = False
+        order = np.argsort(inverse, kind="stable")
+        sorted_inverse = inverse[order]
+    # np.unique guarantees every id in [0, B) occurs, so each segment
+    # start exists and reduceat sees B non-empty segments
+    seg_starts = np.searchsorted(sorted_inverse, np.arange(B))
+    h_bytes, s_bytes = per_server_bytes_grid(
+        offsets, lengths, params.M, params.N, h_eff, s_eff
+    )
+    lam = params.net_latency
+
+    def segment_sum(vals: np.ndarray) -> np.ndarray:
+        if not sorted_already:
+            vals = vals[:, order, :]
+        return np.add.reduceat(vals, seg_starts, axis=1)
+
+    if params.M > 0:
+        loads = segment_sum(h_bytes * (params.t + params.beta_h))
+        counts = segment_sum((h_bytes > 0).astype(np.float64))
+        t_h = counts * (params.alpha_h + lam) + loads
+        worst = np.maximum(worst, t_h.max(axis=2))
+    if params.N > 0:
+        beta = np.where(is_read, params.beta_sr, params.beta_sw)[:, None]
+        alpha = np.where(is_read, params.alpha_sr, params.alpha_sw)[:, None]
+        loads = segment_sum(s_bytes * (params.t + beta[None, :, :]))
+        starts = segment_sum((s_bytes > 0) * (alpha + lam)[None, :, :])
+        t_s = starts + loads
+        worst = np.maximum(worst, t_s.max(axis=2))
     return worst
 
 

@@ -32,14 +32,24 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..units import KiB
-from .cost_model import batch_costs, burst_costs
+from .cost_model import batch_costs, batch_costs_grid, burst_costs, burst_costs_grid
 from .params import CostModelParams
 from .rst import StripePair
 
-__all__ = ["StripeDecision", "determine_stripes", "search_bounds"]
+__all__ = [
+    "StripeDecision",
+    "determine_stripes",
+    "search_bounds",
+    "region_search_task",
+]
 
 #: Algorithm 2's default step (user-configurable)
 DEFAULT_STEP = 4 * KiB
+
+#: soft cap on the number of float64 elements a single grid-engine
+#: temporary may hold (``chunk * K * (M + N)``); the candidate axis is
+#: chunked to stay under it.  8 Mi elements ~ 64 MB of float64.
+GRID_CHUNK_ELEMS = 8 * 1024 * 1024
 #: per-server unit of Algorithm 2's bound threshold (line 3).  The
 #: paper uses the PFS default stripe, 64 KB; our calibrated cluster
 #: model has a higher startup share per sub-request, which moves the
@@ -137,6 +147,7 @@ def determine_stripes(
     max_axis_candidates: int = 64,
     threshold_unit: int = BOUND_THRESHOLD_UNIT,
     burst_ids: np.ndarray | None = None,
+    engine: str = "grid",
 ) -> StripeDecision:
     """Run RSSD over one region's requests.
 
@@ -171,6 +182,16 @@ def determine_stripes(
     of ``step``) to keep at most this many candidates per axis — the
     "finer step = more precise but more calculation" trade-off the
     paper leaves to the user (§III-F).
+
+    ``engine`` selects the search implementation: ``"grid"`` (default)
+    evaluates the whole ``<h, s>`` candidate grid in a few chunked
+    numpy broadcasts (:func:`repro.core.cost_model.batch_costs_grid` /
+    :func:`~repro.core.cost_model.burst_costs_grid`), while
+    ``"scalar"`` is the literal Algorithm 2 loop evaluating one
+    candidate at a time.  Both walk the identical candidate sequence
+    and produce bit-identical costs, so they return the same winning
+    pair; the scalar path is kept as the reference implementation and
+    for the equivalence tests.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     lengths = np.asarray(lengths, dtype=np.int64)
@@ -206,11 +227,28 @@ def determine_stripes(
             )
             weight_scale = uniq.size / max_eval_requests
 
+        # group requests by burst id up front (stable, so within-burst
+        # order — and therefore accumulation order — is preserved);
+        # every per-candidate evaluation then skips the gather step
+        if not np.all(burst_ids[:-1] <= burst_ids[1:]):
+            order = np.argsort(burst_ids, kind="stable")
+            offsets, lengths, is_read, burst_ids = (
+                offsets[order], lengths[order], is_read[order], burst_ids[order],
+            )
+
         def evaluate(h: int, s: int) -> float:
             return float(
                 burst_costs(params, offsets, lengths, is_read, burst_ids, h, s).sum()
                 * weight_scale
             )
+
+        def evaluate_grid(h_arr: np.ndarray, s_arr: np.ndarray) -> np.ndarray:
+            per_burst = burst_costs_grid(
+                params, offsets, lengths, is_read, burst_ids, h_arr, s_arr
+            )
+            return per_burst.sum(axis=1) * weight_scale
+
+        n_eval = offsets.shape[0]
 
     else:
         offs, lens, reads, conc, weights = _dedupe(
@@ -228,35 +266,59 @@ def determine_stripes(
         def evaluate(h: int, s: int) -> float:
             return _weighted_cost(params, offs, lens, reads, conc, weights, h, s)
 
+        def evaluate_grid(h_arr: np.ndarray, s_arr: np.ndarray) -> np.ndarray:
+            costs = batch_costs_grid(params, offs, lens, reads, conc, h_arr, s_arr)
+            return (costs * weights).sum(axis=1)
+
+        n_eval = offs.shape[0]
+
     best_pair: StripePair | None = None
     best_cost = np.inf
-    candidates = 0
-
+    if engine not in ("grid", "scalar"):
+        raise ConfigurationError(
+            f"unknown search engine {engine!r}; expected 'grid' or 'scalar'"
+        )
     if max_axis_candidates <= 0:
         raise ConfigurationError("max_axis_candidates must be >= 1")
     # coarsen the grid (in multiples of `step`) for very large bounds
     h_step = step * max(1, -(-(b_h // step) // max_axis_candidates))
     s_step = step * max(1, -(-(b_s // step) // max_axis_candidates))
 
+    # enumerate the candidate sequence once, in Algorithm 2's loop
+    # order — both engines walk exactly this list, which (with their
+    # bit-identical costs) pins down identical tie-breaking
     h_start = 0 if allow_h_zero else h_step
-    h_values = list(range(h_start, b_h + 1, h_step)) if params.M > 0 else [0]
-    if params.M > 0 and not h_values:
-        h_values = [h_start]  # bound below one step: smallest legal h only
     if params.N == 0:
         # degenerate homogeneous cluster: only HServer stripes exist
-        for h in range(h_step, b_h + h_step, h_step):
-            cost = evaluate(h, 0)
-            candidates += 1
-            if cost < best_cost:
-                best_cost, best_pair = cost, StripePair(h, 0)
+        pairs = [(h, 0) for h in range(h_step, b_h + h_step, h_step)]
     else:
+        h_values = list(range(h_start, b_h + 1, h_step)) if params.M > 0 else [0]
+        if params.M > 0 and not h_values:
+            h_values = [h_start]  # bound below one step: smallest legal h only
+        pairs = []
         for h in h_values:
             s_start = max(h, s_step) if allow_equal_stripes else h + s_step
-            for s in range(s_start, b_s + 1, s_step):
-                cost = evaluate(h, s)
-                candidates += 1
-                if cost < best_cost:
-                    best_cost, best_pair = cost, StripePair(h, s)
+            pairs.extend((h, s) for s in range(s_start, b_s + 1, s_step))
+    candidates = len(pairs)
+
+    if pairs and engine == "grid":
+        h_arr = np.array([p[0] for p in pairs], dtype=np.int64)
+        s_arr = np.array([p[1] for p in pairs], dtype=np.int64)
+        costs = np.empty(len(pairs), dtype=np.float64)
+        # chunk the candidate axis so the (chunk, K, M + N) cost-model
+        # temporaries stay within a fixed memory budget
+        chunk = max(1, GRID_CHUNK_ELEMS // max(1, n_eval * (params.M + params.N)))
+        for lo in range(0, len(pairs), chunk):
+            hi = lo + chunk
+            costs[lo:hi] = evaluate_grid(h_arr[lo:hi], s_arr[lo:hi])
+        idx = int(np.argmin(costs))  # first minimum, like the loop's strict <
+        best_cost = float(costs[idx])
+        best_pair = StripePair(*pairs[idx])
+    elif pairs:
+        for h, s in pairs:
+            cost = evaluate(h, s)
+            if cost < best_cost:
+                best_cost, best_pair = cost, StripePair(h, s)
 
     if best_pair is None:
         # every candidate was pruned (e.g. b_s <= step with large h
@@ -276,6 +338,25 @@ def determine_stripes(
         candidates=candidates,
         bound_h=b_h,
         bound_s=b_s,
+    )
+
+
+def region_search_task(
+    task: tuple[CostModelParams, np.ndarray, np.ndarray, np.ndarray,
+                np.ndarray, np.ndarray | None, dict],
+) -> StripeDecision:
+    """Picklable worker for process-parallel region searches.
+
+    ``task`` is ``(params, offsets, lengths, is_read, concurrency,
+    burst_ids, kwargs)``; the result is the region's
+    :class:`StripeDecision`.  Both :class:`repro.core.pipeline.MHAPipeline`
+    and :class:`repro.schemes.harl.HARLScheme` ship these tuples through
+    :func:`repro.core.parallel.parallel_map`.
+    """
+    params, offsets, lengths, is_read, concurrency, burst_ids, kwargs = task
+    return determine_stripes(
+        params, offsets, lengths, is_read, concurrency,
+        burst_ids=burst_ids, **kwargs,
     )
 
 

@@ -23,7 +23,7 @@ bytes.
 from __future__ import annotations
 
 import struct
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator

@@ -1,0 +1,147 @@
+"""Process-parallel execution of independent region searches.
+
+The Determination phase is embarrassingly parallel: every region's RSSD
+search reads only its own request arrays and the (immutable) cost-model
+parameters.  This module provides the one executor abstraction the
+pipeline and the search-based schemes share:
+
+* :func:`resolve_jobs` turns an explicit ``n_jobs`` or the
+  ``REPRO_JOBS`` environment variable into a worker count (default: all
+  CPUs);
+* :func:`parallel_map` maps a picklable function over items with a
+  ``ProcessPoolExecutor``, preserving item order, and degrades to a
+  plain serial loop when one worker is requested, when there is nothing
+  to fan out, or when the platform cannot spawn worker processes
+  (sandboxes without ``fork`` semaphores, for example) — results are
+  identical either way, because every task is independent and
+  deterministic;
+* worker exceptions are re-raised as :class:`RegionSearchError` carrying
+  the *region label* of the failing item, with the original exception
+  chained, so a failure in one of hundreds of concurrent searches still
+  says exactly which region broke.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TypeVar
+
+from ..exceptions import ConfigurationError, ReproError
+
+__all__ = ["RegionSearchError", "resolve_jobs", "parallel_map", "JOBS_ENV_VAR"]
+
+#: environment variable consulted when ``n_jobs`` is not given
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class RegionSearchError(ReproError):
+    """A parallel region task failed; ``label`` names the region."""
+
+    def __init__(self, label: str, cause: BaseException) -> None:
+        self.label = label
+        super().__init__(
+            f"region task {label!r} failed: {type(cause).__name__}: {cause}"
+        )
+
+
+def resolve_jobs(n_jobs: int | None = None) -> int:
+    """Resolve the worker count: explicit ``n_jobs``, else ``REPRO_JOBS``,
+    else one worker per CPU.  Values must be >= 1."""
+    if n_jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if env:
+            try:
+                n_jobs = int(env)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+                ) from exc
+        else:
+            n_jobs = os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+    return n_jobs
+
+
+def _run_serial(
+    fn: Callable[[T], R], items: Sequence[T], labels: Sequence[str]
+) -> list[R]:
+    results: list[R] = []
+    for item, label in zip(items, labels):
+        try:
+            results.append(fn(item))
+        except Exception as exc:
+            raise RegionSearchError(label, exc) from exc
+    return results
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    n_jobs: int | None = None,
+    labels: Sequence[str] | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, in order, possibly across processes.
+
+    ``fn`` and the items must be picklable when more than one worker is
+    used.  ``labels`` (same length as ``items``) name the items in
+    error reports; they default to the item index.  The first failing
+    item (in submission order) raises :class:`RegionSearchError` with
+    its label and the worker's exception chained.
+    """
+    items = list(items)
+    if labels is None:
+        labels = [f"#{i}" for i in range(len(items))]
+    labels = [str(lab) for lab in labels]
+    if len(labels) != len(items):
+        raise ConfigurationError(
+            f"labels ({len(labels)}) must match items ({len(items)})"
+        )
+    jobs = resolve_jobs(n_jobs)
+    if jobs == 1 or len(items) <= 1:
+        return _run_serial(fn, items, labels)
+
+    # Unpicklable work must never reach the pool: a task that fails to
+    # pickle inside the executor's feeder thread leaves the pool's
+    # management thread permanently stuck (it is joined again at
+    # interpreter exit, hanging the whole process).  Validate up front
+    # and run serially instead — same results, just one process.
+    try:
+        pickle.dumps(fn)
+        for item in items:
+            pickle.dumps(item)
+    except Exception:
+        return _run_serial(fn, items, labels)
+
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+    except (OSError, ImportError, NotImplementedError):
+        # platforms without working process pools (restricted sandboxes,
+        # missing POSIX semaphores) run the same tasks serially
+        return _run_serial(fn, items, labels)
+    try:
+        futures = [executor.submit(fn, item) for item in items]
+        results: list[R] = []
+        for future, label in zip(futures, labels):
+            try:
+                results.append(future.result())
+            except (BrokenProcessPool, pickle.PicklingError):
+                # pool infrastructure failed (not the task itself):
+                # recompute everything serially — tasks are pure, so
+                # the answer is the same
+                return _run_serial(fn, items, labels)
+            except Exception as exc:
+                if isinstance(exc, RegionSearchError):
+                    raise
+                raise RegionSearchError(label, exc) from exc
+        return results
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

@@ -27,11 +27,12 @@ from ..layouts.fixed import FixedStripeLayout
 from ..tracing.analysis import burst_ids_of, concurrency_of
 from ..tracing.record import Trace, TraceRecord
 from ..units import KiB
-from .determinator import DEFAULT_STEP, StripeDecision, determine_stripes
+from .determinator import DEFAULT_STEP, StripeDecision, region_search_task
 from .drt import DRT, DRTEntry
 from .features import extract_features
 from .grouping import DEFAULT_MAX_GROUPS, GroupingResult, group_requests, suggest_k
 from .intervals import IntervalSet
+from .parallel import parallel_map
 from .params import CostModelParams
 from .placer import place_regions
 from .redirector import Redirector
@@ -103,6 +104,16 @@ class MHAPipeline:
         Optional persistence locations (Berkeley-DB stand-in files).
     max_eval_requests / seed:
         Cost-evaluation sampling bound and RNG seed (determinism).
+    n_jobs:
+        Worker processes for the Determination phase.  Regions are
+        independent, so their RSSD searches run concurrently through
+        :func:`repro.core.parallel.parallel_map`; ``None`` defers to
+        the ``REPRO_JOBS`` environment variable and then the CPU
+        count.  Results are identical for any worker count.
+    engine:
+        RSSD search engine (``"grid"`` vectorized / ``"scalar"``
+        reference loop); see
+        :func:`repro.core.determinator.determine_stripes`.
     """
 
     def __init__(
@@ -120,6 +131,8 @@ class MHAPipeline:
         rst_path: str | Path | None = None,
         max_eval_requests: int = 4096,
         seed: int = 0,
+        n_jobs: int | None = None,
+        engine: str = "grid",
     ) -> None:
         if k is not None and k <= 0:
             raise ConfigurationError(f"k must be >= 1, got {k}")
@@ -136,6 +149,8 @@ class MHAPipeline:
         self.rst_path = rst_path
         self.max_eval_requests = max_eval_requests
         self.seed = seed
+        self.n_jobs = n_jobs
+        self.engine = engine
 
     def _original_layout(self, file: str) -> Layout:
         return FixedStripeLayout(
@@ -150,6 +165,8 @@ class MHAPipeline:
         groupings: dict[str, GroupingResult] = {}
         decisions: dict[str, StripeDecision] = {}
         original_layouts: dict[str, Layout] = {}
+        region_names: list[str] = []
+        search_tasks: list[tuple] = []
 
         for file in trace.files():
             sub = trace.for_file(file).sorted_by_offset()
@@ -187,20 +204,35 @@ class MHAPipeline:
                 offsets, lengths, is_read, concurrency, burst_ids = (
                     region.request_arrays()
                 )
-                decision = determine_stripes(
+                region_names.append(region.name)
+                search_tasks.append((
                     self.params,
                     offsets,
                     lengths,
                     is_read,
                     concurrency,
-                    step=self.step,
-                    bound_policy=self.bound_policy,
-                    max_eval_requests=self.max_eval_requests,
-                    seed=self.seed,
-                    burst_ids=burst_ids,
-                )
-                decisions[region.name] = decision
-                rst.set(region.name, decision.pair)
+                    burst_ids,
+                    dict(
+                        step=self.step,
+                        bound_policy=self.bound_policy,
+                        max_eval_requests=self.max_eval_requests,
+                        seed=self.seed,
+                        engine=self.engine,
+                    ),
+                ))
+
+        # Determination: every region's RSSD search is independent, so
+        # fan the accumulated searches (across all files) out to the
+        # worker pool at once
+        results = parallel_map(
+            region_search_task,
+            search_tasks,
+            n_jobs=self.n_jobs,
+            labels=region_names,
+        )
+        for name, decision in zip(region_names, results):
+            decisions[name] = decision
+            rst.set(name, decision.pair)
 
         region_layouts = place_regions(self.spec, rst)
         redirector = Redirector(drt, region_layouts, original_layouts)

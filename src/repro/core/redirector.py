@@ -11,7 +11,7 @@ reproduces the paper's redirection-overhead experiment (Fig. 14).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..exceptions import RedirectionError
 from ..layouts.base import Layout, SubRequest

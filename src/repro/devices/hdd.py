@@ -23,7 +23,7 @@ HServers (a single ``alpha_h`` / ``beta_h`` pair in Table I).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..units import MiB
 from .base import Device, OpType, _check_positive

@@ -19,9 +19,8 @@ from typing import Sequence
 from ..cluster import ClusterSpec
 from ..core.pipeline import identity_redirector
 from ..devices.base import READ, WRITE
-from ..pfs.replay import run_workload
 from ..schemes.base import LayoutView
-from ..schemes.registry import make_scheme, scheme_names
+from ..schemes.registry import scheme_names
 from ..tracing.record import Trace
 from ..units import KiB, MiB
 from ..workloads.btio import BTIOWorkload

@@ -22,7 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec
-from ..core.determinator import DEFAULT_STEP, determine_stripes
+from ..core.determinator import DEFAULT_STEP, region_search_task
+from ..core.parallel import parallel_map
 from ..core.params import CostModelParams
 from ..core.rst import StripePair
 from ..layouts.base import Layout
@@ -48,6 +49,8 @@ class HARLScheme(Scheme):
         step: int = DEFAULT_STEP,
         max_eval_requests: int = 4096,
         seed: int = 0,
+        n_jobs: int | None = None,
+        engine: str = "grid",
     ) -> None:
         if num_regions <= 0:
             raise ValueError(f"num_regions must be >= 1, got {num_regions}")
@@ -55,6 +58,8 @@ class HARLScheme(Scheme):
         self.step = step
         self.max_eval_requests = max_eval_requests
         self.seed = seed
+        self.n_jobs = n_jobs
+        self.engine = engine
 
     def _region_bounds(
         self, extent_end: int, max_request: int = 0
@@ -80,17 +85,16 @@ class HARLScheme(Scheme):
         bounds.append((start, max(extent_end, start + size)))
         return bounds
 
-    def _optimize_region(
+    def _region_task(
         self,
         params: CostModelParams,
-        spec: ClusterSpec,
         trace: Trace,
         conc_map: dict,
         burst_map: dict,
         start: int,
         end: int,
-        obj: str,
-    ) -> Layout:
+    ) -> tuple | None:
+        """One region's search task, or ``None`` for an untouched region."""
         # requests clipped to the region, in region-local coordinates
         offsets, lengths, is_read, conc, bursts = [], [], [], [], []
         for idx, record in enumerate(trace):
@@ -103,52 +107,81 @@ class HARLScheme(Scheme):
                 conc.append(conc_map.get(record, 1))
                 bursts.append(burst_map.get(record, -(idx + 1)))
         if not offsets:
-            # untouched region: keep the PFS default
-            return VariedStripeLayout(
-                spec.hserver_ids,
-                spec.sserver_ids,
-                h=DEFAULT_STRIPE if spec.num_hservers else 0,
-                s=DEFAULT_STRIPE if spec.num_sservers else 0,
-                obj=obj,
-            )
-        decision = determine_stripes(
+            return None
+        return (
             params,
             np.array(offsets, dtype=np.int64),
             np.array(lengths, dtype=np.int64),
             np.array(is_read, dtype=bool),
             np.array(conc, dtype=np.int64),
-            step=self.step,
-            bound_policy="average",
-            max_eval_requests=self.max_eval_requests,
-            seed=self.seed,
-            burst_ids=np.array(bursts, dtype=np.int64),
-        )
-        return VariedStripeLayout(
-            spec.hserver_ids,
-            spec.sserver_ids,
-            h=decision.pair.h,
-            s=decision.pair.s,
-            obj=obj,
+            np.array(bursts, dtype=np.int64),
+            dict(
+                step=self.step,
+                bound_policy="average",
+                max_eval_requests=self.max_eval_requests,
+                seed=self.seed,
+                engine=self.engine,
+            ),
         )
 
     def build(self, spec: ClusterSpec, trace: Trace) -> LayoutView:
         params = CostModelParams.from_cluster(spec)
-        layouts: dict[str, Layout] = {}
         self.decisions: dict[str, StripePair] = {}
+        # phase 1: clip requests into regions, collecting one search
+        # task per touched region across every file
+        file_regions: dict[str, list[tuple[int, int, str, int | None]]] = {}
+        tasks: list[tuple] = []
+        labels: list[str] = []
         for file in trace.files():
             sub = trace.for_file(file).sorted_by_offset()
             conc_map = concurrency_of(sub)
             burst_map = burst_ids_of(sub)
             _, extent_end = sub.extent()
-            regions = []
             bounds = self._region_bounds(extent_end, sub.max_size())
+            entries: list[tuple[int, int, str, int | None]] = []
             for idx, (start, end) in enumerate(bounds):
-                layout = self._optimize_region(
-                    params, spec, sub, conc_map, burst_map, start, end,
-                    obj=f"{file}/r{idx}",
+                obj = f"{file}/r{idx}"
+                task = self._region_task(
+                    params, sub, conc_map, burst_map, start, end
                 )
-                if isinstance(layout, VariedStripeLayout):
-                    self.decisions[f"{file}/r{idx}"] = StripePair(layout.h, layout.s)
+                if task is None:
+                    entries.append((start, end, obj, None))
+                else:
+                    entries.append((start, end, obj, len(tasks)))
+                    tasks.append(task)
+                    labels.append(obj)
+            file_regions[file] = entries
+
+        # phase 2: all region searches are independent — run them on
+        # the worker pool
+        results = parallel_map(
+            region_search_task, tasks, n_jobs=self.n_jobs, labels=labels
+        )
+
+        # phase 3: assemble the per-file region layouts in order
+        layouts: dict[str, Layout] = {}
+        for file, entries in file_regions.items():
+            regions = []
+            for start, end, obj, task_idx in entries:
+                if task_idx is None:
+                    # untouched region: keep the PFS default
+                    layout = VariedStripeLayout(
+                        spec.hserver_ids,
+                        spec.sserver_ids,
+                        h=DEFAULT_STRIPE if spec.num_hservers else 0,
+                        s=DEFAULT_STRIPE if spec.num_sservers else 0,
+                        obj=obj,
+                    )
+                else:
+                    pair = results[task_idx].pair
+                    layout = VariedStripeLayout(
+                        spec.hserver_ids,
+                        spec.sserver_ids,
+                        h=pair.h,
+                        s=pair.s,
+                        obj=obj,
+                    )
+                    self.decisions[obj] = StripePair(layout.h, layout.s)
                 regions.append(Region(start=start, end=end, layout=layout))
             layouts[file] = RegionLayout(regions, obj=file)
         from ..layouts.fixed import FixedStripeLayout

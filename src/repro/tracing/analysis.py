@@ -12,7 +12,6 @@ the requests issued within each phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from ..devices.base import READ, WRITE
 from ..exceptions import ConfigurationError
 from ..tracing.record import Trace
-from ..units import KiB, MiB
+from ..units import MiB
 from .base import TraceBuilder, Workload
 
 __all__ = ["CheckpointWorkload"]

@@ -70,7 +70,7 @@ class IORWorkload(Workload):
         if not request_sizes or any(s <= 0 for s in request_sizes):
             raise ConfigurationError(f"bad request sizes: {request_sizes}")
         if num_processes <= 0:
-            raise ConfigurationError(f"num_processes must be >= 1")
+            raise ConfigurationError("num_processes must be >= 1")
         self.num_processes = num_processes
         self.request_sizes = [int(s) for s in request_sizes]
         self.total_size = int(total_size)

@@ -1,0 +1,206 @@
+"""Grid-engine equivalence: the vectorized RSSD search must be
+*bit-identical* to the scalar Algorithm 2 loop.
+
+The vectorized engine only reorganizes the same IEEE operations
+(broadcast axes, exact integer kernels, order-preserving reductions),
+so there is no tolerance anywhere in this file: winning pairs, costs,
+per-candidate cost rows and per-server byte counts are compared with
+``==`` / ``array_equal``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import CostModelParams, determine_stripes
+from repro.core.cost_model import (
+    batch_costs,
+    batch_costs_grid,
+    burst_costs,
+    burst_costs_grid,
+)
+from repro.exceptions import ConfigurationError
+from repro.layouts.extents import (
+    max_server_bytes_grid,
+    per_server_bytes_batch,
+    per_server_bytes_grid,
+)
+
+SPECS = [
+    ClusterSpec(),
+    ClusterSpec(num_hservers=3, num_sservers=3),
+    ClusterSpec(num_sservers=0),
+    ClusterSpec(num_hservers=0, num_sservers=2),
+]
+
+
+def random_region(rng, max_len=1 << 18):
+    K = int(rng.integers(1, 48))
+    offsets = rng.integers(0, 1 << 21, K)
+    lengths = rng.integers(1, max_len, K)
+    is_read = rng.random(K) < 0.5
+    conc = rng.integers(1, 16, K)
+    bursts = rng.integers(0, max(1, K // 3), K)
+    return offsets, lengths, is_read, conc, bursts
+
+
+def candidate_grid(rng, G=24):
+    h = rng.integers(0, 64, G) * 4096
+    s = np.maximum(rng.integers(1, 64, G) * 4096, h)
+    return h, s
+
+
+class TestKernelEquivalence:
+    """The grid extent/cost kernels row-for-row against the scalar ones."""
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_per_server_bytes_grid_matches_batch(self, spec):
+        rng = np.random.default_rng(1)
+        M, N = spec.num_hservers, spec.num_sservers
+        for _ in range(5):
+            offsets, lengths, _, _, _ = random_region(rng)
+            h_arr, s_arr = candidate_grid(rng)
+            hg, sg = per_server_bytes_grid(offsets, lengths, M, N, h_arr, s_arr)
+            for g in range(h_arr.shape[0]):
+                hb, sb = per_server_bytes_batch(
+                    offsets, lengths, M, N, int(h_arr[g]), int(s_arr[g])
+                )
+                assert np.array_equal(hg[g], hb)
+                assert np.array_equal(sg[g], sb)
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_max_server_bytes_grid_is_fused_max(self, spec):
+        rng = np.random.default_rng(2)
+        M, N = spec.num_hservers, spec.num_sservers
+        offsets, lengths, _, _, _ = random_region(rng)
+        h_arr, s_arr = candidate_grid(rng)
+        hg, sg = per_server_bytes_grid(offsets, lengths, M, N, h_arr, s_arr)
+        hm, sm = max_server_bytes_grid(offsets, lengths, M, N, h_arr, s_arr)
+        if M > 0:
+            assert np.array_equal(hm, hg.max(axis=2))
+        else:
+            assert not hm.any()
+        if N > 0:
+            assert np.array_equal(sm, sg.max(axis=2))
+        else:
+            assert not sm.any()
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_batch_costs_grid_rows_match_scalar(self, spec):
+        rng = np.random.default_rng(3)
+        params = CostModelParams.from_cluster(spec)
+        for _ in range(3):
+            offsets, lengths, is_read, conc, _ = random_region(rng)
+            h_arr, s_arr = candidate_grid(rng)
+            grid = batch_costs_grid(
+                params, offsets, lengths, is_read, conc, h_arr, s_arr
+            )
+            for g in range(h_arr.shape[0]):
+                row = batch_costs(
+                    params, offsets, lengths, is_read, conc,
+                    int(h_arr[g]), int(s_arr[g]),
+                )
+                assert np.array_equal(grid[g], row)
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_burst_costs_grid_rows_match_scalar(self, spec):
+        rng = np.random.default_rng(4)
+        params = CostModelParams.from_cluster(spec)
+        for _ in range(3):
+            offsets, lengths, is_read, _, bursts = random_region(rng)
+            h_arr, s_arr = candidate_grid(rng)
+            grid = burst_costs_grid(
+                params, offsets, lengths, is_read, bursts, h_arr, s_arr
+            )
+            for g in range(h_arr.shape[0]):
+                row = burst_costs(
+                    params, offsets, lengths, is_read, bursts,
+                    int(h_arr[g]), int(s_arr[g]),
+                )
+                assert np.array_equal(grid[g], row)
+
+    def test_zero_length_requests_cost_nothing_in_grid(self):
+        params = CostModelParams.from_cluster(ClusterSpec())
+        offsets = np.array([0, 4096])
+        lengths = np.array([0, 8192])
+        is_read = np.array([True, False])
+        conc = np.array([4, 4])
+        h_arr = np.array([4096, 8192])
+        s_arr = np.array([8192, 8192])
+        grid = batch_costs_grid(params, offsets, lengths, is_read, conc, h_arr, s_arr)
+        assert (grid[:, 0] == 0).all()
+        assert (grid[:, 1] > 0).all()
+
+    def test_empty_grid_and_empty_requests(self):
+        params = CostModelParams.from_cluster(ClusterSpec())
+        none = np.array([], dtype=np.int64)
+        out = batch_costs_grid(params, none, none, none.astype(bool), none, none, none)
+        assert out.shape == (0, 0)
+        out = burst_costs_grid(params, none, none, none.astype(bool), none, none, none)
+        assert out.shape == (0, 0)
+
+
+class TestSearchEquivalence:
+    """Seeded property-style sweep: the two engines return the identical
+    ``StripeDecision`` on random regions, in both cost modes."""
+
+    @pytest.mark.parametrize("mode", ["batch", "burst"])
+    def test_engines_agree_on_random_regions(self, mode):
+        rng = np.random.default_rng(42)
+        for trial in range(24):
+            spec = SPECS[trial % len(SPECS)]
+            params = CostModelParams.from_cluster(spec)
+            offsets, lengths, is_read, conc, bursts = random_region(rng)
+            kw = dict(
+                step=4096,
+                max_eval_requests=48,
+                seed=trial,
+                max_axis_candidates=16,
+            )
+            if mode == "burst":
+                kw["burst_ids"] = bursts
+            if trial % 5 == 0:
+                kw["bound_policy"] = "average"
+            if trial % 7 == 0:
+                kw["allow_equal_stripes"] = False
+            if trial % 11 == 0:
+                kw["allow_h_zero"] = False
+            a = determine_stripes(
+                params, offsets, lengths, is_read, conc, engine="grid", **kw
+            )
+            b = determine_stripes(
+                params, offsets, lengths, is_read, conc, engine="scalar", **kw
+            )
+            assert a.pair == b.pair, f"trial {trial}: {a.pair} != {b.pair}"
+            assert a.cost == b.cost  # bit-identical, no approx
+            assert a.candidates == b.candidates
+            assert (a.bound_h, a.bound_s) == (b.bound_h, b.bound_s)
+
+    def test_engines_agree_across_chunk_boundaries(self):
+        """Chunked grid evaluation must not depend on the chunk size."""
+        from repro.core import determinator
+
+        params = CostModelParams.from_cluster(ClusterSpec())
+        rng = np.random.default_rng(9)
+        offsets, lengths, is_read, conc, _ = random_region(rng)
+        baseline = determine_stripes(params, offsets, lengths, is_read, conc)
+        original = determinator.GRID_CHUNK_ELEMS
+        try:
+            determinator.GRID_CHUNK_ELEMS = 1  # one candidate per chunk
+            tiny = determine_stripes(params, offsets, lengths, is_read, conc)
+        finally:
+            determinator.GRID_CHUNK_ELEMS = original
+        assert tiny.pair == baseline.pair
+        assert tiny.cost == baseline.cost
+
+    def test_unknown_engine_rejected(self):
+        params = CostModelParams.from_cluster(ClusterSpec())
+        with pytest.raises(ConfigurationError):
+            determine_stripes(
+                params,
+                np.array([0]),
+                np.array([4096]),
+                np.array([True]),
+                np.array([1]),
+                engine="simd",
+            )

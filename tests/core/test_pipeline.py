@@ -1,6 +1,5 @@
 """Integration tests for the five-phase MHA pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import ClusterSpec

@@ -1,6 +1,5 @@
 """Tests for the Data Reorganizer (regions + DRT construction)."""
 
-import numpy as np
 import pytest
 
 from repro.core import group_requests, reorganize

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import ClusterSpec
-from repro.core import DRTEntry, MHAPipeline, StripePair, verify_plan
+from repro.core import MHAPipeline, StripePair, verify_plan
 from repro.tracing import Trace, TraceRecord
 from repro.units import KiB
 from repro.workloads import IORWorkload, LANLWorkload

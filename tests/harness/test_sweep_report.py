@@ -1,6 +1,5 @@
 """Tests for the sweep utility, bar rendering and migration estimate."""
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.core import MHAPipeline, estimate_migration_time

@@ -18,7 +18,6 @@ from repro.layouts import FixedStripeLayout, VariedStripeLayout
 from repro.pfs import DataClient, ObjectStore, migrate
 from repro.schemes import DEFScheme
 from repro.tracing import Trace, TraceRecord
-from repro.units import KiB
 
 
 def rec(offset, size, ts=0.0, rank=0, op="write", file="data"):

@@ -13,7 +13,6 @@ random op mixes.  Two invariants:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

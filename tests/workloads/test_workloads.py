@@ -4,7 +4,7 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.tracing import trace_statistics
-from repro.units import GiB, KiB, MiB
+from repro.units import KiB, MiB
 from repro.workloads import (
     BTIOWorkload,
     CholeskyWorkload,
