@@ -15,6 +15,7 @@ applications whose patterns are not predictable from one profiling run.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -157,6 +158,77 @@ class MHAPipeline:
             servers=self.spec.server_ids, stripe=self.original_stripe, obj=file
         )
 
+    def search_kwargs(self) -> dict:
+        """The RSSD search options shared by every region task."""
+        return dict(
+            step=self.step,
+            bound_policy=self.bound_policy,
+            max_eval_requests=self.max_eval_requests,
+            seed=self.seed,
+            engine=self.engine,
+        )
+
+    def plan_file(
+        self, file: str, sub: Trace, drt: DRT
+    ) -> tuple[ReorderPlan, GroupingResult, list[str], list[tuple]]:
+        """Run grouping + reordering for one file; return its search tasks.
+
+        ``sub`` must be the offset-sorted single-file trace.  DRT
+        entries for the file's regions are appended to ``drt``.  The
+        returned search tasks are the picklable
+        :func:`~repro.core.determinator.region_search_task` tuples for
+        the file's regions (one per name in the returned name list) —
+        callers fan them out through
+        :func:`repro.core.parallel.parallel_map`.  Factored out of
+        :meth:`plan` so the online re-planner
+        (:mod:`repro.online.replanner`) can rebuild a single drifted
+        file with exactly the off-line semantics.
+        """
+        features = extract_features(sub, gap=self.gap, spatial=self.spatial)
+        distinct = int(np.unique(features.points, axis=0).shape[0]) if len(sub) else 1
+        k = self.k if self.k is not None else suggest_k(
+            len(sub), distinct, self.max_groups
+        )
+        grouping = group_requests(features, k=k, seed=self.seed)
+        # Per-group concurrency: once migrated, a region only ever
+        # receives its own group's requests, so the burst size that
+        # matters for its stripe decision is the number of
+        # *same-group* requests issued simultaneously.  (Schemes
+        # without grouping cannot make this distinction — that
+        # sharper cost estimate is part of what reordering buys.)
+        conc: dict[TraceRecord, int] = {}
+        bursts: dict[TraceRecord, int] = {}
+        next_burst = 0
+        for g in range(grouping.k):
+            members = Trace(sub[int(i)] for i in grouping.members(g))
+            conc.update(
+                concurrency_of(members, gap=self.gap, spatial=self.spatial)
+            )
+            ids = burst_ids_of(members, gap=self.gap, spatial=self.spatial)
+            for record, local_id in ids.items():
+                bursts[record] = next_burst + local_id
+            next_burst += (max(ids.values()) + 1) if ids else 0
+        plan = reorganize(
+            sub, grouping, conc, o_file=file, drt=drt, bursts=bursts
+        )
+        region_names: list[str] = []
+        search_tasks: list[tuple] = []
+        for region in plan.regions:
+            offsets, lengths, is_read, concurrency, burst_ids = (
+                region.request_arrays()
+            )
+            region_names.append(region.name)
+            search_tasks.append((
+                self.params,
+                offsets,
+                lengths,
+                is_read,
+                concurrency,
+                burst_ids,
+                self.search_kwargs(),
+            ))
+        return plan, grouping, region_names, search_tasks
+
     def plan(self, trace: Trace) -> MHAPlan:
         """Run reordering + determination + placement over a trace."""
         drt = DRT(self.drt_path) if self.drt_path else DRT()
@@ -171,55 +243,11 @@ class MHAPipeline:
         for file in trace.files():
             sub = trace.for_file(file).sorted_by_offset()
             original_layouts[file] = self._original_layout(file)
-            features = extract_features(sub, gap=self.gap, spatial=self.spatial)
-            distinct = int(np.unique(features.points, axis=0).shape[0]) if len(sub) else 1
-            k = self.k if self.k is not None else suggest_k(
-                len(sub), distinct, self.max_groups
-            )
-            grouping = group_requests(features, k=k, seed=self.seed)
-            groupings[file] = grouping
-            # Per-group concurrency: once migrated, a region only ever
-            # receives its own group's requests, so the burst size that
-            # matters for its stripe decision is the number of
-            # *same-group* requests issued simultaneously.  (Schemes
-            # without grouping cannot make this distinction — that
-            # sharper cost estimate is part of what reordering buys.)
-            conc: dict[TraceRecord, int] = {}
-            bursts: dict[TraceRecord, int] = {}
-            next_burst = 0
-            for g in range(grouping.k):
-                members = Trace(sub[int(i)] for i in grouping.members(g))
-                conc.update(
-                    concurrency_of(members, gap=self.gap, spatial=self.spatial)
-                )
-                ids = burst_ids_of(members, gap=self.gap, spatial=self.spatial)
-                for record, local_id in ids.items():
-                    bursts[record] = next_burst + local_id
-                next_burst += (max(ids.values()) + 1) if ids else 0
-            plan = reorganize(
-                sub, grouping, conc, o_file=file, drt=drt, bursts=bursts
-            )
+            plan, grouping, names, tasks = self.plan_file(file, sub, drt)
             reorder_plans[file] = plan
-            for region in plan.regions:
-                offsets, lengths, is_read, concurrency, burst_ids = (
-                    region.request_arrays()
-                )
-                region_names.append(region.name)
-                search_tasks.append((
-                    self.params,
-                    offsets,
-                    lengths,
-                    is_read,
-                    concurrency,
-                    burst_ids,
-                    dict(
-                        step=self.step,
-                        bound_policy=self.bound_policy,
-                        max_eval_requests=self.max_eval_requests,
-                        seed=self.seed,
-                        engine=self.engine,
-                    ),
-                ))
+            groupings[file] = grouping
+            region_names.extend(names)
+            search_tasks.extend(tasks)
 
         # Determination: every region's RSSD search is independent, so
         # fan the accumulated searches (across all files) out to the
@@ -326,6 +354,17 @@ class OnlinePipeline:
     records have accumulated since the last plan, the off-line pipeline
     re-runs over the most recent ``window`` records.  The current plan
     is always available (``None`` until the first window fills).
+
+    .. deprecated::
+        This naive sketch re-runs the *full* off-line pipeline on a
+        fixed cadence and swaps plans instantaneously, ignoring both
+        drift and migration cost.  Use
+        :class:`repro.online.RelayoutController` instead — it detects
+        drifted regions, re-plans only those, admits a relayout only
+        when the modelled payback beats the migration cost, and
+        executes the migration as throttled background I/O with an
+        epoch-based swap.  ``RelayoutController.from_online`` accepts
+        the same ``(pipeline, window)`` arguments.
     """
 
     def __init__(self, pipeline: MHAPipeline, window: int = 1024) -> None:
@@ -333,7 +372,7 @@ class OnlinePipeline:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         self.pipeline = pipeline
         self.window = window
-        self._buffer: list[TraceRecord] = []
+        self._buffer: deque[TraceRecord] = deque(maxlen=window)
         self._since_plan = 0
         self.plan: MHAPlan | None = None
         self.replans = 0
@@ -341,8 +380,6 @@ class OnlinePipeline:
     def observe(self, record: TraceRecord) -> MHAPlan | None:
         """Add one runtime record; returns a fresh plan when one is built."""
         self._buffer.append(record)
-        if len(self._buffer) > self.window:
-            self._buffer.pop(0)
         self._since_plan += 1
         if self._since_plan >= self.window:
             self.plan = self.pipeline.plan(Trace(self._buffer))

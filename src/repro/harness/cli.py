@@ -2,7 +2,9 @@
 
 ``python -m repro.harness fig07`` (or the installed ``repro-harness``
 script) prints the reproduced rows of the requested figure; ``all``
-runs the whole evaluation section.
+runs the whole evaluation section.  ``python -m repro.harness online``
+runs the closed-loop phase-shift experiment of :mod:`repro.online`
+instead of a figure.
 """
 
 from __future__ import annotations
@@ -11,13 +13,84 @@ import argparse
 import sys
 import time
 
+from ..units import MiB
 from .figures import ALL_FIGURES
 from .report import format_bars
 
 __all__ = ["main"]
 
 
+def _online_main(argv: list[str]) -> int:
+    """The ``online`` subcommand: checkpoint -> IOR phase shift served
+    by the live relayout controller."""
+    from ..online import phase_shift_experiment
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness online",
+        description=(
+            "Run the online relayout experiment: a checkpoint-profiled "
+            "layout faces an IOR-style pattern shift mid-run; the "
+            "controller detects the drift, re-plans, and migrates in "
+            "the background while foreground requests keep being served."
+        ),
+    )
+    parser.add_argument(
+        "--processes", type=int, default=8, help="IOR ranks after the shift"
+    )
+    parser.add_argument(
+        "--total-mib",
+        type=float,
+        default=4.0,
+        help="bytes per IOR pass, in MiB",
+    )
+    parser.add_argument(
+        "--passes",
+        type=int,
+        default=3,
+        help="IOR passes after the shift (pass 1 trips the detector)",
+    )
+    parser.add_argument(
+        "--throttle-mib",
+        type=float,
+        default=None,
+        help="background migration cap per region copier, MiB/s",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=3600.0,
+        help="seconds of future traffic the gate credits a relayout with",
+    )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.5,
+        help="relative feature distance that flags a region as drifted",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    report = phase_shift_experiment(
+        ior_processes=args.processes,
+        ior_total=int(args.total_mib * MiB),
+        passes=args.passes,
+        throttle=args.throttle_mib * MiB if args.throttle_mib else None,
+        horizon=args.horizon,
+        drift_threshold=args.drift_threshold,
+        seed=args.seed,
+    )
+    elapsed = time.perf_counter() - started
+    print(report.describe())
+    print(f"  ({elapsed:.1f}s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "online":
+        return _online_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description="Reproduce the MHA paper's evaluation figures.",

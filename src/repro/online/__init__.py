@@ -1,0 +1,53 @@
+"""Closed-loop online relayout for the MHA scheme.
+
+The off-line pipeline (trace -> reorder -> determine -> place ->
+redirect) assumes the profiled pattern persists.  This package closes
+the loop when it does not:
+
+* :mod:`~repro.online.sketch` — streaming per-region feature sketch
+  (windowed + EWMA request size and burst concurrency);
+* :mod:`~repro.online.drift` — compares live features against the
+  active plan's cluster centroids, flags only drifted regions;
+* :mod:`~repro.online.replanner` — re-runs grouping + the grid RSSD
+  search for the drifted files only, carrying everything else over;
+* :mod:`~repro.online.gate` — Eq. 2 cost/benefit admission: relayout
+  only when projected payback beats the migration estimate;
+* :mod:`~repro.online.migrator` — background migration on the shared
+  simulator with a bandwidth throttle and epoch-based per-region swap;
+* :mod:`~repro.online.controller` — ties the above into
+  :class:`RelayoutController`;
+* :mod:`~repro.online.experiment` — live runners and the
+  checkpoint -> IOR phase-shift experiment.
+"""
+
+from .controller import ControllerConfig, RelayoutAction, RelayoutController
+from .drift import DriftDetector, DriftReport, plan_centroids, relative_distance
+from .experiment import OnlineRunReport, phase_shift_experiment, run_online
+from .gate import CostBenefitGate, GateDecision, modelled_trace_cost
+from .migrator import EpochRedirector, LiveMigrationScheduler, MigrationReport
+from .replanner import IncrementalReplanner, ReplanOutcome
+from .sketch import FileTraffic, RegionSketch, StreamingSketch
+
+__all__ = [
+    "ControllerConfig",
+    "RelayoutAction",
+    "RelayoutController",
+    "DriftDetector",
+    "DriftReport",
+    "plan_centroids",
+    "relative_distance",
+    "OnlineRunReport",
+    "phase_shift_experiment",
+    "run_online",
+    "CostBenefitGate",
+    "GateDecision",
+    "modelled_trace_cost",
+    "EpochRedirector",
+    "LiveMigrationScheduler",
+    "MigrationReport",
+    "IncrementalReplanner",
+    "ReplanOutcome",
+    "FileTraffic",
+    "RegionSketch",
+    "StreamingSketch",
+]

@@ -13,12 +13,13 @@ static layout table (DEF/AAL/HARL) or the MHA redirector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 from ..cluster import ClusterSpec
 from ..layouts.base import SubRequest
+from ..simulate import Waitable
 from ..tracing.collector import IOCollector
-from ..tracing.record import Trace
+from ..tracing.record import Trace, TraceRecord
 from .system import HybridPFS
 
 __all__ = ["FileView", "RunMetrics", "replay_trace", "run_workload"]
@@ -102,6 +103,8 @@ def replay_trace(
     *,
     keep_latencies: bool = False,
     collector: IOCollector | None = None,
+    on_record: Callable[[TraceRecord], None] | None = None,
+    barrier_gap: float | None = None,
 ) -> RunMetrics:
     """Replay ``trace`` against ``pfs`` through ``view``.
 
@@ -109,18 +112,65 @@ def replay_trace(
     ranks proceed independently and contend on the servers.  Returns
     the metrics of this replay (server stats are reset first, so a
     shared :class:`HybridPFS` can host several sequential replays).
+
+    ``on_record`` is called with each trace record at its simulated
+    issue time, *before* the request is mapped — the hook point for
+    online observers (the relayout controller of :mod:`repro.online`
+    watches live traffic and spawns background migrations through it).
+    Because the view is consulted after the hook, a hook that swaps or
+    mutates the view affects the very record it was called for.
+    ``metrics.makespan`` covers only the foreground requests: processes
+    the hook spawned may keep the simulator running past it.
+
+    ``barrier_gap`` emulates MPI collective I/O: records are bucketed
+    into phases wherever consecutive trace timestamps jump by more
+    than the gap (the :data:`~repro.workloads.base.PHASE_GAP`
+    structure of the workload generators), and no rank may issue a
+    phase-``p`` record before every record of earlier phases has
+    completed.  ``None`` (the default) keeps ranks fully independent.
     """
     pfs.reset_stats()
     sim = pfs.sim
     start_time = sim.now
     latencies: list[float] = []
     by_rank: dict[int, list] = {}
-    for record in trace.sorted_by_time():
+    ordered = trace.sorted_by_time()
+    for record in ordered:
         by_rank.setdefault(record.rank, []).append(record)
+    foreground_end = [start_time]
+
+    phase_of: dict[TraceRecord, int] = {}
+    remaining: list[int] = []
+    phase_done: list[Waitable] = []
+    if barrier_gap is not None:
+        prev_t: float | None = None
+        for record in ordered:
+            if prev_t is not None and record.timestamp - prev_t > barrier_gap:
+                remaining.append(0)
+            if not remaining:
+                remaining.append(0)
+            prev_t = record.timestamp
+            phase_of[record] = len(remaining) - 1
+            remaining[-1] += 1
+        phase_done = [Waitable() for _ in remaining]
+
+    frontier = [0]  # first phase not yet known complete
+
+    def record_complete(phase: int) -> None:
+        remaining[phase] -= 1
+        while frontier[0] < len(remaining) and remaining[frontier[0]] == 0:
+            phase_done[frontier[0]].fire()
+            frontier[0] += 1
 
     def rank_process(records):
         for record in records:
+            if barrier_gap is not None:
+                p = phase_of[record]
+                if p > 0 and not phase_done[p - 1].fired:
+                    yield phase_done[p - 1]
             issued = sim.now
+            if on_record is not None:
+                on_record(record)
             if collector is not None:
                 collector.record(
                     rank=record.rank,
@@ -132,8 +182,11 @@ def replay_trace(
                 )
             fragments = view.map_request(record.file, record.offset, record.size)
             yield pfs.issue(record.op, fragments, rank=record.rank)
+            if barrier_gap is not None:
+                record_complete(phase_of[record])
             if keep_latencies:
                 latencies.append(sim.now - issued)
+        foreground_end[0] = max(foreground_end[0], sim.now)
 
     for rank in sorted(by_rank):
         sim.spawn(rank_process(by_rank[rank]), name=f"rank{rank}")
@@ -142,7 +195,7 @@ def replay_trace(
     read_bytes = sum(r.size for r in trace if r.op == "read")
     write_bytes = sum(r.size for r in trace if r.op == "write")
     return RunMetrics(
-        makespan=sim.now - start_time,
+        makespan=foreground_end[0] - start_time,
         total_bytes=trace.total_bytes(),
         requests=len(trace),
         per_server_busy=pfs.per_server_busy(),

@@ -97,3 +97,79 @@ class TestSimulatedMigration:
         assert metrics.bytes_moved == 0
         assert metrics.makespan == 0.0
         assert metrics.bandwidth == 0.0
+
+
+class TestLoadPlanRoundTripInvariants:
+    def test_rst_pairs_survive_round_trip(self, spec, trace, tmp_path):
+        pipeline = MHAPipeline(
+            spec, seed=0, drt_path=tmp_path / "drt.db", rst_path=tmp_path / "rst.db"
+        )
+        original = pipeline.plan(trace)
+        pairs = {name: (p.h, p.s) for name, p in original.rst}
+        original.drt.close()
+        original.rst.close()
+        restored = load_plan(spec, tmp_path / "drt.db", tmp_path / "rst.db")
+        assert {name: (p.h, p.s) for name, p in restored.rst} == pairs
+
+    def test_drt_entries_survive_round_trip(self, spec, trace, tmp_path):
+        pipeline = MHAPipeline(
+            spec, seed=0, drt_path=tmp_path / "drt.db", rst_path=tmp_path / "rst.db"
+        )
+        original = pipeline.plan(trace)
+        entries = sorted(
+            (e.o_file, e.o_offset, e.length, e.r_file, e.r_offset)
+            for e in original.drt
+        )
+        original.drt.close()
+        original.rst.close()
+        restored = load_plan(spec, tmp_path / "drt.db", tmp_path / "rst.db")
+        assert entries == sorted(
+            (e.o_file, e.o_offset, e.length, e.r_file, e.r_offset)
+            for e in restored.drt
+        )
+
+    def test_restored_plan_migrates_identically(self, spec, trace, tmp_path):
+        pipeline = MHAPipeline(
+            spec, seed=0, drt_path=tmp_path / "drt.db", rst_path=tmp_path / "rst.db"
+        )
+        original = pipeline.plan(trace)
+        m1 = simulate_migration(spec, original)
+        original.drt.close()
+        original.rst.close()
+        restored = load_plan(spec, tmp_path / "drt.db", tmp_path / "rst.db")
+        m2 = simulate_migration(spec, restored)
+        assert m1.bytes_moved == m2.bytes_moved
+        assert m1.extents == m2.extents
+        assert m1.makespan == m2.makespan
+
+
+class TestMigrationMetricInvariants:
+    def test_bytes_moved_equals_drt_extent_sum(self, spec, trace):
+        plan = MHAPipeline(spec, seed=0).plan(trace)
+        metrics = simulate_migration(spec, plan)
+        assert metrics.bytes_moved == sum(e.length for e in plan.drt)
+        # the DRT claims each reordered byte exactly once, so the copy
+        # volume also equals the plan's own accounting
+        assert metrics.bytes_moved == plan.migrated_bytes()
+
+    def test_bandwidth_is_bytes_over_makespan(self, spec, trace):
+        plan = MHAPipeline(spec, seed=0).plan(trace)
+        metrics = simulate_migration(spec, plan)
+        assert metrics.makespan > 0
+        assert metrics.bandwidth == pytest.approx(
+            metrics.bytes_moved / metrics.makespan
+        )
+
+    def test_bandwidth_bounded_by_cluster_capability(self, spec, trace):
+        """Effective copy bandwidth can never exceed the aggregate
+        device ceiling (1/beta bytes per second per server)."""
+        plan = MHAPipeline(spec, seed=0).plan(trace)
+        metrics = simulate_migration(spec, plan)
+        ceiling = sum(
+            1.0
+            / min(
+                spec.device_for(s).beta("read"), spec.device_for(s).beta("write")
+            )
+            for s in spec.server_ids
+        )
+        assert metrics.bandwidth <= ceiling

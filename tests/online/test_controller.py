@@ -1,0 +1,161 @@
+"""Tests for the relayout controller lifecycle and the legacy shim."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import MHAPipeline
+from repro.core.pipeline import OnlinePipeline
+from repro.exceptions import ConfigurationError
+from repro.online import ControllerConfig, RelayoutController
+from repro.units import KiB, MiB
+from repro.workloads import IORWorkload
+
+
+@pytest.fixture
+def spec():
+    return ClusterSpec()
+
+
+@pytest.fixture
+def pipeline(spec):
+    return MHAPipeline(spec, seed=0)
+
+
+def ior_trace(sizes, seed=1, processes=4, total=2 * MiB):
+    return IORWorkload(
+        num_processes=processes,
+        request_sizes=list(sizes),
+        total_size=total,
+        seed=seed,
+        file="f",
+    ).trace("write")
+
+
+@pytest.fixture
+def shifted(pipeline):
+    """A plan built for small requests plus the shifted live trace."""
+    plan = pipeline.plan(ior_trace([16 * KiB], processes=2, total=1 * MiB))
+    live = ior_trace([64 * KiB, 256 * KiB], seed=3, total=8 * MiB, processes=8)
+    return plan, live
+
+
+def drive(controller, trace):
+    """Feed records until the controller returns an action (or runs out)."""
+    for record in trace.sorted_by_time():
+        action = controller.observe(record)
+        if action is not None:
+            return action
+    return None
+
+
+class TestRelayoutController:
+    def test_shifted_traffic_admits_a_relayout(self, pipeline, shifted):
+        plan, live = shifted
+        controller = RelayoutController(
+            pipeline,
+            plan,
+            ControllerConfig(
+                window=len(live), check_interval=len(live), horizon=1e6
+            ),
+        )
+        action = drive(controller, live)
+        assert action is not None
+        assert controller.in_flight is action
+        assert controller.replans_admitted == 1
+        assert action.decision.admitted
+        assert action.migration_entries
+        # while in flight, further records never start a second replan
+        for record in live.sorted_by_time():
+            assert controller.observe(record) is None
+
+    def test_commit_activates_plan_and_resets_sketch(self, pipeline, shifted):
+        plan, live = shifted
+        controller = RelayoutController(
+            pipeline,
+            plan,
+            ControllerConfig(window=len(live), check_interval=len(live), horizon=1e6),
+        )
+        action = drive(controller, live)
+        controller.commit(action)
+        assert controller.active_plan is action.plan
+        assert controller.in_flight is None
+        assert controller.sketch.observed == 0
+
+    def test_abort_keeps_old_plan(self, pipeline, shifted):
+        plan, live = shifted
+        controller = RelayoutController(
+            pipeline,
+            plan,
+            ControllerConfig(window=len(live), check_interval=len(live), horizon=1e6),
+        )
+        action = drive(controller, live)
+        controller.abort(action)
+        assert controller.active_plan is plan
+        assert controller.in_flight is None
+
+    def test_commit_of_foreign_action_rejected(self, pipeline, shifted):
+        plan, live = shifted
+        cfg = ControllerConfig(window=len(live), check_interval=len(live), horizon=1e6)
+        c1 = RelayoutController(pipeline, plan, cfg)
+        c2 = RelayoutController(pipeline, plan, cfg)
+        action = drive(c1, live)
+        with pytest.raises(ConfigurationError):
+            c2.commit(action)
+        with pytest.raises(ConfigurationError):
+            c2.abort(action)
+
+    def test_cooldown_suppresses_checks(self, pipeline, shifted):
+        plan, live = shifted
+        controller = RelayoutController(
+            pipeline,
+            plan,
+            ControllerConfig(
+                window=len(live),
+                check_interval=len(live),
+                horizon=1e6,
+                cooldown=10 * len(live),
+            ),
+        )
+        action = drive(controller, live)
+        controller.commit(action)
+        checks_before = controller.drift_checks
+        for record in live.sorted_by_time():
+            controller.observe(record)
+        assert controller.drift_checks == checks_before  # still cooling down
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(window=0)
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(check_interval=0)
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(cooldown=-1)
+
+    def test_from_online_adapter(self, pipeline):
+        controller = RelayoutController.from_online(pipeline, window=64)
+        assert controller.config.window == 64
+        assert not controller.active_plan.region_layouts
+
+
+class TestDeprecatedOnlinePipeline:
+    def test_buffer_is_bounded_deque(self, pipeline):
+        from collections import deque
+
+        online = OnlinePipeline(pipeline, window=4)
+        trace = ior_trace([32 * KiB])
+        for record in trace.sorted_by_time():
+            online.observe(record)
+        assert isinstance(online._buffer, deque)
+        assert len(online._buffer) == 4
+
+    def test_deprecation_pointer_in_docstring(self):
+        assert "RelayoutController" in OnlinePipeline.__doc__
+
+    def test_still_replans(self, pipeline):
+        trace = ior_trace([32 * KiB])
+        online = OnlinePipeline(pipeline, window=len(trace))
+        plan = None
+        for record in trace.sorted_by_time():
+            plan = online.observe(record) or plan
+        assert plan is not None
+        assert online.replans == 1

@@ -1,0 +1,194 @@
+"""Tests for the epoch redirector and live migration scheduler."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import MHAPipeline
+from repro.exceptions import ConfigurationError
+from repro.online import EpochRedirector, LiveMigrationScheduler
+from repro.pfs import HybridPFS
+from repro.units import KiB, MiB
+from repro.workloads import IORWorkload
+
+
+@pytest.fixture
+def spec():
+    return ClusterSpec()
+
+
+@pytest.fixture
+def pipeline(spec):
+    return MHAPipeline(spec, seed=0)
+
+
+def ior_trace(sizes, seed=1, processes=4, total=4 * MiB):
+    return IORWorkload(
+        num_processes=processes,
+        request_sizes=list(sizes),
+        total_size=total,
+        seed=seed,
+        file="f",
+    ).trace("write")
+
+
+@pytest.fixture
+def plans(pipeline):
+    old_trace = ior_trace([32 * KiB])
+    new_trace = ior_trace([128 * KiB, 512 * KiB], seed=3, total=8 * MiB)
+    return pipeline.plan(old_trace), pipeline.plan(new_trace), old_trace, new_trace
+
+
+class TestEpochRedirector:
+    def test_transparent_before_epoch(self, plans):
+        old_plan, _, old_trace, _ = plans
+        epoch = EpochRedirector(old_plan)
+        assert not epoch.migrating
+        for r in old_trace:
+            assert epoch.map_request(r.file, r.offset, r.size) == (
+                old_plan.redirector.map_request(r.file, r.offset, r.size)
+            )
+
+    def test_unflipped_epoch_still_serves_old_mapping(self, plans):
+        old_plan, new_plan, old_trace, _ = plans
+        epoch = EpochRedirector(old_plan)
+        epoch.begin_epoch(new_plan)
+        assert epoch.migrating
+        for r in old_trace:
+            assert epoch.map_request(r.file, r.offset, r.size) == (
+                old_plan.redirector.map_request(r.file, r.offset, r.size)
+            )
+
+    def test_flip_routes_only_that_region(self, plans):
+        old_plan, new_plan, _, new_trace = plans
+        epoch = EpochRedirector(old_plan)
+        epoch.begin_epoch(new_plan)
+        region = sorted(new_plan.region_layouts)[0]
+        epoch.flip(region)
+        inside = outside = 0
+        for r in new_trace:
+            touched = {
+                e.file
+                for e in new_plan.drt.translate(r.file, r.offset, r.size)
+                if e.mapped
+            }
+            got = epoch.map_request(r.file, r.offset, r.size)
+            if touched == {region}:
+                # entirely within the flipped region: served by new plan
+                assert got == new_plan.redirector.map_request(
+                    r.file, r.offset, r.size
+                )
+                inside += 1
+            elif region not in touched:
+                # untouched by the flip: still the old mapping
+                assert got == old_plan.redirector.map_request(
+                    r.file, r.offset, r.size
+                )
+                outside += 1
+        assert inside and outside
+
+    def test_commit_serves_full_new_mapping(self, plans):
+        old_plan, new_plan, _, new_trace = plans
+        epoch = EpochRedirector(old_plan)
+        epoch.begin_epoch(new_plan)
+        epoch.commit()
+        assert not epoch.migrating
+        assert epoch.active_plan is new_plan
+        assert epoch.epochs == 1
+        for r in new_trace:
+            assert epoch.map_request(r.file, r.offset, r.size) == (
+                new_plan.redirector.map_request(r.file, r.offset, r.size)
+            )
+
+    def test_old_mappings_survive_commit_as_fallthrough(self, plans):
+        """Bytes the new plan never reordered keep resolving through the
+        previous epoch's chain."""
+        old_plan, _, old_trace, _ = plans
+        # a new plan for a different file leaves "f" entirely unmapped
+        other = MHAPipeline(ClusterSpec(), seed=0).plan(
+            IORWorkload(
+                num_processes=2,
+                request_sizes=64 * KiB,
+                total_size=1 * MiB,
+                file="g",
+            ).trace("write")
+        )
+        epoch = EpochRedirector(old_plan)
+        epoch.begin_epoch(other)
+        epoch.commit()
+        for r in old_trace:
+            assert epoch.map_request(r.file, r.offset, r.size) == (
+                old_plan.redirector.map_request(r.file, r.offset, r.size)
+            )
+
+    def test_lifecycle_errors(self, plans):
+        old_plan, new_plan, _, _ = plans
+        epoch = EpochRedirector(old_plan)
+        with pytest.raises(ConfigurationError):
+            epoch.flip("nope")
+        with pytest.raises(ConfigurationError):
+            epoch.commit()
+        epoch.begin_epoch(new_plan)
+        with pytest.raises(ConfigurationError):
+            epoch.begin_epoch(new_plan)
+        with pytest.raises(ConfigurationError):
+            epoch.flip("not-a-region")
+
+
+class TestLiveMigrationScheduler:
+    def test_moves_every_byte_and_commits(self, spec, plans):
+        old_plan, new_plan, _, _ = plans
+        pfs = HybridPFS(spec)
+        epoch = EpochRedirector(old_plan)
+        scheduler = LiveMigrationScheduler(pfs, epoch)
+        entries = list(new_plan.drt.entries_for("f"))
+        committed = []
+        scheduler.on_commit = committed.append
+        report = scheduler.start(new_plan, entries)
+        pfs.sim.run()
+        assert report.bytes_moved == sum(e.length for e in entries)
+        assert report.extents == len(entries)
+        assert report.complete
+        assert report.makespan > 0
+        assert committed == [report]
+        assert not epoch.migrating  # committed
+        assert epoch.active_plan is new_plan
+        assert set(report.flip_times) == set(new_plan.region_layouts)
+
+    def test_throttle_slows_migration(self, spec, plans):
+        old_plan, new_plan, _, _ = plans
+        entries = list(new_plan.drt.entries_for("f"))
+
+        def run(throttle):
+            pfs = HybridPFS(spec)
+            scheduler = LiveMigrationScheduler(
+                pfs, EpochRedirector(old_plan), throttle=throttle
+            )
+            scheduler.start(new_plan, entries)
+            pfs.sim.run()
+            return scheduler.report.makespan
+
+        fast = run(None)
+        slow = run(1 * MiB)  # 1 MiB/s cap
+        assert slow > fast
+        # a 1 MiB/s cap on ~8 MiB of data must take at least a second
+        # per parallel region copier
+        assert slow >= sum(e.length for e in entries) / (1 * MiB) / len(
+            new_plan.region_layouts
+        )
+
+    def test_empty_migration_commits_immediately(self, spec, plans):
+        old_plan, new_plan, _, _ = plans
+        pfs = HybridPFS(spec)
+        epoch = EpochRedirector(old_plan)
+        scheduler = LiveMigrationScheduler(pfs, epoch)
+        report = scheduler.start(new_plan, [])
+        assert report.bytes_moved == 0
+        assert not epoch.migrating
+        assert epoch.active_plan is new_plan
+
+    def test_throttle_validation(self, spec, plans):
+        old_plan, _, _, _ = plans
+        with pytest.raises(ConfigurationError):
+            LiveMigrationScheduler(
+                HybridPFS(spec), EpochRedirector(old_plan), throttle=0
+            )
