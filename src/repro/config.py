@@ -1,0 +1,23 @@
+"""Central configuration constants shared across subsystems.
+
+Every tunable that affects *reproducibility* lives here under a name,
+never as an inline literal at a call site.  In particular, random seeds:
+the planning pipeline samples large traces (e.g. AAL's stripe-search
+subsample) and the determinism contract is that two runs over the same
+trace produce byte-identical plans.  That only holds if every RNG in
+``schemes/``, ``simulate/``, ``pfs/`` and ``online/`` is constructed
+from a seed that is named, auditable, and overridable in one place —
+which is exactly what repro-lint's RL001 rule enforces (inline literal
+seeds and unseeded generators are rejected; named seeds pass).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DEFAULT_SAMPLE_SEED"]
+
+#: Seed for every deterministic sampling RNG in the planning pipeline
+#: (trace subsampling, k-means initialisation, tie-breaking).  Changing
+#: it changes which subsample a scheme evaluates — plans remain valid,
+#: but byte-identical reproduction of recorded results requires the
+#: recorded seed.
+DEFAULT_SAMPLE_SEED: int = 0

@@ -113,7 +113,10 @@ def batch_costs(
     cycle = float(params.M * h_eff + params.N * s_eff)
 
     def class_time(
-        width: int, own: np.ndarray, alpha, beta
+        width: int,
+        own: np.ndarray,
+        alpha: float | np.ndarray,
+        beta: float | np.ndarray,
     ) -> np.ndarray:
         """Per-request completion bound from one server class.
 
@@ -289,7 +292,12 @@ def batch_costs_grid(
     cl = conc_f * length_f  # (K,)
     conc_gate = (conc_f > 1)[None, :]
 
-    def class_time(width: np.ndarray, own_max: np.ndarray, alpha, beta) -> np.ndarray:
+    def class_time(
+        width: np.ndarray,
+        own_max: np.ndarray,
+        alpha: float | np.ndarray,
+        beta: float | np.ndarray,
+    ) -> np.ndarray:
         """Grid form of the scalar path's per-class completion bound.
 
         ``width`` is the per-candidate stripe of this server class

@@ -27,9 +27,11 @@ For each region, iterate candidate stripe pairs ``<h, s>``:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from ..config import DEFAULT_SAMPLE_SEED
 from ..exceptions import ConfigurationError
 from ..units import KiB
 from .cost_model import batch_costs, batch_costs_grid, burst_costs, burst_costs_grid
@@ -41,6 +43,19 @@ __all__ = [
     "determine_stripes",
     "search_bounds",
     "region_search_task",
+    "RegionSearchTask",
+]
+
+#: the picklable work unit :func:`region_search_task` consumes:
+#: ``(params, offsets, lengths, is_read, concurrency, burst_ids, kwargs)``
+RegionSearchTask = tuple[
+    CostModelParams,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    "np.ndarray | None",
+    dict[str, Any],
 ]
 
 #: Algorithm 2's default step (user-configurable)
@@ -141,7 +156,7 @@ def determine_stripes(
     step: int = DEFAULT_STEP,
     bound_policy: str = "adaptive",
     max_eval_requests: int = 4096,
-    seed: int = 0,
+    seed: int = DEFAULT_SAMPLE_SEED,
     allow_h_zero: bool = True,
     allow_equal_stripes: bool = True,
     max_axis_candidates: int = 64,
@@ -341,10 +356,7 @@ def determine_stripes(
     )
 
 
-def region_search_task(
-    task: tuple[CostModelParams, np.ndarray, np.ndarray, np.ndarray,
-                np.ndarray, np.ndarray | None, dict],
-) -> StripeDecision:
+def region_search_task(task: RegionSearchTask) -> StripeDecision:
     """Picklable worker for process-parallel region searches.
 
     ``task`` is ``(params, offsets, lengths, is_read, concurrency,

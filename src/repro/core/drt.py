@@ -244,7 +244,7 @@ class DRT:
     # -- stats / persistence ---------------------------------------------
 
     @property
-    def cache(self) -> LRUCache:
+    def cache(self) -> LRUCache[tuple[str, int], DRTEntry]:
         """The hot-entry list (for statistics)."""
         return self._cache
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..numerics import replace_near_zero
 from ..tracing.analysis import concurrency_of
 from ..tracing.record import Trace
 
@@ -68,12 +69,16 @@ def extract_features(
 
 
 def _spread(points: np.ndarray) -> np.ndarray:
-    """Per-axis ``max - min``, with constant axes mapped to 1.0."""
+    """Per-axis ``max - min``, with (near-)constant axes mapped to 1.0.
+
+    Tolerance-based: an axis whose spread is ``1e-17`` is constant for
+    normalisation purposes, and exact ``== 0.0`` would miss it and then
+    divide by it.
+    """
     if points.shape[0] == 0:
         return np.ones(2)
     spread = points.max(axis=0) - points.min(axis=0)
-    spread[spread == 0.0] = 1.0
-    return spread
+    return replace_near_zero(spread, 1.0)
 
 
 def normalized_distances(features: FeatureSet, centers: np.ndarray) -> np.ndarray:

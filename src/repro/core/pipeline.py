@@ -18,17 +18,24 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from ..cluster import ClusterSpec
+from ..config import DEFAULT_SAMPLE_SEED
 from ..exceptions import ConfigurationError
 from ..layouts.base import Layout
 from ..layouts.fixed import FixedStripeLayout
 from ..tracing.analysis import burst_ids_of, concurrency_of
 from ..tracing.record import Trace, TraceRecord
 from ..units import KiB
-from .determinator import DEFAULT_STEP, StripeDecision, region_search_task
+from .determinator import (
+    DEFAULT_STEP,
+    RegionSearchTask,
+    StripeDecision,
+    region_search_task,
+)
 from .drt import DRT, DRTEntry
 from .features import extract_features
 from .grouping import DEFAULT_MAX_GROUPS, GroupingResult, group_requests, suggest_k
@@ -131,7 +138,7 @@ class MHAPipeline:
         drt_path: str | Path | None = None,
         rst_path: str | Path | None = None,
         max_eval_requests: int = 4096,
-        seed: int = 0,
+        seed: int = DEFAULT_SAMPLE_SEED,
         n_jobs: int | None = None,
         engine: str = "grid",
     ) -> None:
@@ -158,7 +165,7 @@ class MHAPipeline:
             servers=self.spec.server_ids, stripe=self.original_stripe, obj=file
         )
 
-    def search_kwargs(self) -> dict:
+    def search_kwargs(self) -> dict[str, Any]:
         """The RSSD search options shared by every region task."""
         return dict(
             step=self.step,
@@ -170,7 +177,7 @@ class MHAPipeline:
 
     def plan_file(
         self, file: str, sub: Trace, drt: DRT
-    ) -> tuple[ReorderPlan, GroupingResult, list[str], list[tuple]]:
+    ) -> tuple[ReorderPlan, GroupingResult, list[str], list[RegionSearchTask]]:
         """Run grouping + reordering for one file; return its search tasks.
 
         ``sub`` must be the offset-sorted single-file trace.  DRT
@@ -212,7 +219,7 @@ class MHAPipeline:
             sub, grouping, conc, o_file=file, drt=drt, bursts=bursts
         )
         region_names: list[str] = []
-        search_tasks: list[tuple] = []
+        search_tasks: list[RegionSearchTask] = []
         for region in plan.regions:
             offsets, lengths, is_read, concurrency, burst_ids = (
                 region.request_arrays()
@@ -238,7 +245,7 @@ class MHAPipeline:
         decisions: dict[str, StripeDecision] = {}
         original_layouts: dict[str, Layout] = {}
         region_names: list[str] = []
-        search_tasks: list[tuple] = []
+        search_tasks: list[RegionSearchTask] = []
 
         for file in trace.files():
             sub = trace.for_file(file).sorted_by_offset()

@@ -11,11 +11,14 @@ to each region file before the optimized layout serves traffic (the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..cluster import ClusterSpec
 from ..layouts.base import Layout
 from ..layouts.varied import VariedStripeLayout
+from ..units import KiB
 from .drt import DRT, DRTEntry
+from .params import CostModelParams
 from .rst import RST, StripePair
 
 __all__ = ["build_region_layout", "place_regions", "MigrationStep", "migration_schedule"]
@@ -70,8 +73,8 @@ def migration_schedule(drt: DRT) -> list[MigrationStep]:
 
 def estimate_migration_time(
     spec: ClusterSpec,
-    drt: DRT,
-    original_stripe: int = 64 * 1024,
+    drt: DRT | Sequence[DRTEntry],
+    original_stripe: int = 64 * KiB,
 ) -> float:
     """Rough one-off cost of the placement phase's data movement.
 
@@ -86,8 +89,6 @@ def estimate_migration_time(
     a simulation (use :func:`repro.pfs.storage.migrate` with a replay
     for that).
     """
-    from .params import CostModelParams
-
     params = CostModelParams.from_cluster(spec)
     total_bytes = sum(entry.length for entry in drt)
     extents = len(drt)

@@ -23,12 +23,13 @@ file and fall through the redirector unmapped.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from ..devices.base import READ
 from ..exceptions import ConfigurationError
-from ..tracing.record import Trace
+from ..tracing.record import Trace, TraceRecord
 from .drt import DRT, DRTEntry
 from .grouping import GroupingResult
 from .intervals import IntervalSet
@@ -113,10 +114,10 @@ def region_name(o_file: str, group: int) -> str:
 def reorganize(
     trace: Trace,
     grouping: GroupingResult,
-    concurrency: dict,
+    concurrency: Mapping[TraceRecord, int],
     o_file: str | None = None,
     drt: DRT | None = None,
-    bursts: dict | None = None,
+    bursts: Mapping[TraceRecord, int] | None = None,
 ) -> ReorderPlan:
     """Build regions + DRT from a grouped trace.
 

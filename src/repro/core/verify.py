@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from ..layouts.base import check_tiling
 from ..tracing.record import Trace
+from .drt import DRTEntry
 from .intervals import IntervalSet
 from .pipeline import MHAPlan
 
@@ -76,7 +77,7 @@ def verify_plan(plan: MHAPlan, trace: Trace) -> PlanReport:
 def _check_drt_geometry(plan: MHAPlan, report: PlanReport) -> None:
     entries = list(plan.drt)
     report.stats["drt_entries"] = len(entries)
-    by_file: dict[str, list] = {}
+    by_file: dict[str, list[DRTEntry]] = {}
     for entry in entries:
         by_file.setdefault(entry.o_file, []).append(entry)
     for o_file, file_entries in by_file.items():

@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..units import KiB, MiB
 from .base import Device, READ, WRITE
 
 __all__ = ["fit_affine", "measure_device", "AffineFit"]
@@ -57,7 +58,7 @@ def fit_affine(sizes: Sequence[int], times: Sequence[float]) -> AffineFit:
 def measure_device(
     device: Device,
     op: str,
-    sizes: Sequence[int] = (4096, 16384, 65536, 262144, 1048576),
+    sizes: Sequence[int] = (4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, MiB),
 ) -> AffineFit:
     """Probe a device model at several sizes and fit alpha/beta.
 

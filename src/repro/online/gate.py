@@ -25,11 +25,13 @@ candidate leaves the active plan untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..cluster import ClusterSpec
 from ..core.cost_model import batch_costs
+from ..core.drt import DRTEntry
 from ..core.params import CostModelParams
 from ..core.pipeline import DEFAULT_ORIGINAL_STRIPE, MHAPlan
 from ..core.placer import estimate_migration_time
@@ -161,14 +163,25 @@ class CostBenefitGate:
         old_plan: MHAPlan,
         new_plan: MHAPlan,
         window: Trace,
-        migration_entries: list,
+        migration_entries: Sequence[DRTEntry],
     ) -> GateDecision:
         """Price the candidate against the incumbent on the window."""
-        kwargs = dict(
-            gap=self.gap, spatial=self.spatial, original_stripe=self.original_stripe
+        old_cost = modelled_trace_cost(
+            self.params,
+            old_plan,
+            window,
+            gap=self.gap,
+            spatial=self.spatial,
+            original_stripe=self.original_stripe,
         )
-        old_cost = modelled_trace_cost(self.params, old_plan, window, **kwargs)
-        new_cost = modelled_trace_cost(self.params, new_plan, window, **kwargs)
+        new_cost = modelled_trace_cost(
+            self.params,
+            new_plan,
+            window,
+            gap=self.gap,
+            spatial=self.spatial,
+            original_stripe=self.original_stripe,
+        )
         migration_time = estimate_migration_time(self.spec, migration_entries)
         bytes_to_move = sum(entry.length for entry in migration_entries)
 

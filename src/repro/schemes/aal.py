@@ -14,6 +14,14 @@ evaluates candidates against the trace's exact bursts like the other
 optimizers; its handicaps are the uniform stripe, the homogeneous
 server model, and (like HARL) the average-request-size search bound.
 The winning stripe is applied identically to all servers.
+
+Determinism contract: building an AAL layout is a pure function of the
+``(spec, trace)`` inputs.  Traces longer than ``max_eval_requests`` are
+subsampled before the stripe search, and that subsample is drawn from a
+generator seeded with :data:`repro.config.DEFAULT_SAMPLE_SEED` — never
+from an unseeded or inline-literal-seeded RNG — so repeated builds over
+the same trace pick the same requests and land on the same stripe.
+repro-lint's RL001 rule enforces this contract mechanically.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster import ClusterSpec
+from ..config import DEFAULT_SAMPLE_SEED
 from ..core.cost_model import burst_costs
 from ..core.params import CostModelParams
 from ..tracing.analysis import burst_ids_of
@@ -71,7 +80,7 @@ class AALScheme(Scheme):
         is_read = np.array([r.op == "read" for r in trace], dtype=bool)
         bursts = np.array([burst_map[r] for r in trace], dtype=np.int64)
         if len(trace) > self.max_eval_requests:
-            rng = np.random.default_rng(0)
+            rng = np.random.default_rng(DEFAULT_SAMPLE_SEED)
             pick = rng.choice(len(trace), size=self.max_eval_requests, replace=False)
             offsets, lengths, is_read, bursts = (
                 offsets[pick], lengths[pick], is_read[pick], bursts[pick],

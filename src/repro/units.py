@@ -90,7 +90,7 @@ def format_size(nbytes: int) -> str:
     for unit, width in (("TiB", 1024 * GiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
         if nbytes >= width:
             value = nbytes / width
-            if value == int(value):
+            if value.is_integer():
                 return f"{int(value)}{unit}"
             return f"{value:.2f}{unit}"
     return f"{nbytes}B"

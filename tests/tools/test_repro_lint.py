@@ -1,0 +1,393 @@
+"""repro-lint checker suite: positive/negative fixtures per rule,
+suppressions, CLI exit codes, and a clean-tree gate.
+
+Each rule gets at least one minimal source that MUST trigger it and one
+that MUST NOT; the fixtures mirror the true positives the pre-fix
+codebase contained (aal.py's inline seed, placer.py's raw ``64 * 1024``
+and lazy import, test_parallel.py's lambda, features.py's ``== 0.0``).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.repro_lint import lint_source
+from tools.repro_lint.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SRC = "src/repro/online/example.py"  # in RL001 scope (online/) and src scope
+CORE = "src/repro/core/example.py"  # src scope, not RL001 scope
+COST = "src/repro/core/cost_model.py"  # RL004 scope
+TEST = "tests/core/test_example.py"  # test scope
+
+
+def rules_of(source, path):
+    return sorted({d.rule for d in lint_source(source, path)})
+
+
+# -- RL001 determinism ----------------------------------------------------
+
+
+class TestRL001:
+    def test_wall_clock_flagged(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_datetime_now_flagged(self):
+        src = (
+            "from datetime import datetime\n\n"
+            "def f():\n    return datetime.now()\n"
+        )
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_unseeded_rng_flagged(self):
+        src = "import numpy as np\n\nrng = np.random.default_rng()\n"
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_inline_literal_seed_flagged(self):
+        # the pre-fix aal.py pattern
+        src = "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_legacy_global_np_random_flagged(self):
+        src = "import numpy as np\n\nx = np.random.randint(0, 10)\n"
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_global_random_module_flagged(self):
+        src = "import random\n\nx = random.random()\n"
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_named_seed_ok(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.config import DEFAULT_SAMPLE_SEED\n\n"
+            "rng = np.random.default_rng(DEFAULT_SAMPLE_SEED)\n"
+        )
+        assert "RL001" not in rules_of(src, SRC)
+
+    def test_out_of_scope_dirs_ignored(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert "RL001" not in rules_of(src, CORE)
+        assert "RL001" not in rules_of(src, "tests/online/test_x.py")
+
+
+# -- RL002 units discipline -----------------------------------------------
+
+
+class TestRL002:
+    def test_raw_stripe_default_flagged(self):
+        # the pre-fix placer.py pattern
+        src = "def f(original_stripe: int = 64 * 1024) -> int:\n    return 0\n"
+        assert "RL002" in rules_of(src, CORE)
+
+    def test_raw_literal_in_sizes_tuple_flagged(self):
+        # the pre-fix calibrate.py pattern
+        src = "def f(sizes=(4096, 16384)):\n    return sizes\n"
+        assert "RL002" in rules_of(src, CORE)
+
+    def test_keyword_argument_flagged(self):
+        src = "g = object()\nx = g(stripe=65536)\n"
+        assert "RL002" in rules_of(src, CORE)
+
+    def test_units_constant_ok(self):
+        src = (
+            "from repro.units import KiB\n\n"
+            "def f(original_stripe: int = 64 * KiB) -> int:\n    return 0\n"
+        )
+        assert "RL002" not in rules_of(src, CORE)
+
+    def test_non_byte_names_ok(self):
+        # counts that merely look power-of-two-ish must not be flagged
+        src = "max_eval_requests = 4096\ncache_capacity = 4096\n"
+        assert "RL002" not in rules_of(src, CORE)
+
+    def test_unit_suffix_mixing_flagged(self):
+        src = "def f(total_bytes: int, quota_kb: int) -> int:\n"
+        src += "    return total_bytes + quota_kb\n"
+        assert "RL002" in rules_of(src, CORE)
+
+    def test_same_suffix_ok(self):
+        src = "def f(a_bytes: int, b_bytes: int) -> int:\n"
+        src += "    return a_bytes + b_bytes\n"
+        assert "RL002" not in rules_of(src, CORE)
+
+    def test_tests_exempt(self):
+        src = "def f(original_stripe: int = 64 * 1024) -> int:\n    return 0\n"
+        assert "RL002" not in rules_of(src, TEST)
+
+
+# -- RL003 parallel safety ------------------------------------------------
+
+
+class TestRL003:
+    def test_lambda_flagged(self):
+        src = "from repro.core.parallel import parallel_map\n\n"
+        src += "r = parallel_map(lambda x: x, [1])\n"
+        assert "RL003" in rules_of(src, SRC)
+
+    def test_nested_function_flagged(self):
+        src = (
+            "from repro.core.parallel import parallel_map\n\n"
+            "def outer(k):\n"
+            "    def inner(x):\n"
+            "        return x + k\n"
+            "    return parallel_map(inner, [1])\n"
+        )
+        assert "RL003" in rules_of(src, SRC)
+
+    def test_bound_method_flagged(self):
+        src = (
+            "from repro.core.parallel import parallel_map\n\n"
+            "def run(sim):\n"
+            "    return parallel_map(sim.step, [1])\n"
+        )
+        assert "RL003" in rules_of(src, SRC)
+
+    def test_module_level_function_ok(self):
+        src = (
+            "from repro.core.parallel import parallel_map\n\n"
+            "def work(x):\n"
+            "    return x + 1\n\n"
+            "def run():\n"
+            "    return parallel_map(work, [1])\n"
+        )
+        assert "RL003" not in rules_of(src, SRC)
+
+    def test_module_attribute_ok(self):
+        src = (
+            "import math\n"
+            "from repro.core.parallel import parallel_map\n\n"
+            "r = parallel_map(math.sqrt, [1.0])\n"
+        )
+        assert "RL003" not in rules_of(src, SRC)
+
+    def test_partial_binding_simulator_flagged(self):
+        src = (
+            "from functools import partial\n"
+            "from repro.core.parallel import parallel_map\n\n"
+            "def work(simulator, x):\n"
+            "    return x\n\n"
+            "def run(simulator):\n"
+            "    return parallel_map(partial(work, simulator), [1])\n"
+        )
+        assert "RL003" in rules_of(src, SRC)
+
+    def test_applies_in_tests_too(self):
+        src = "from repro.core.parallel import parallel_map\n\n"
+        src += "r = parallel_map(lambda x: x, [1])\n"
+        assert "RL003" in rules_of(src, TEST)
+
+
+# -- RL004 cost-model purity ----------------------------------------------
+
+
+class TestRL004:
+    def test_argument_attribute_write_flagged(self):
+        src = "def f(plan):\n    plan.cost = 1.0\n"
+        assert "RL004" in rules_of(src, COST)
+
+    def test_argument_item_write_flagged(self):
+        src = "def f(table):\n    table['k'] = 1\n"
+        assert "RL004" in rules_of(src, COST)
+
+    def test_global_statement_flagged(self):
+        src = "_N = 0\n\ndef f():\n    global _N\n    _N += 1\n"
+        assert "RL004" in rules_of(src, COST)
+
+    def test_io_call_flagged(self):
+        src = "def f(x):\n    print(x)\n    return x\n"
+        assert "RL004" in rules_of(src, COST)
+
+    def test_function_level_import_flagged(self):
+        # the pre-fix placer.py pattern
+        src = "def f(spec):\n    from .params import CostModelParams\n    return 0\n"
+        assert "RL004" in rules_of(src, "src/repro/core/placer.py")
+
+    def test_mutator_on_argument_flagged(self):
+        src = "def f(rows):\n    rows.append(1)\n    return rows\n"
+        assert "RL004" in rules_of(src, COST)
+
+    def test_pure_function_ok(self):
+        src = (
+            "def f(params, x):\n"
+            "    local = [x]\n"
+            "    local.append(2 * x)\n"
+            "    return sum(local) * params.t\n"
+        )
+        assert "RL004" not in rules_of(src, COST)
+
+    def test_self_state_ok(self):
+        # stateful controllers may keep internal state
+        src = (
+            "class Gate:\n"
+            "    def evaluate(self, plan):\n"
+            "        self.evaluations = getattr(self, 'evaluations', 0) + 1\n"
+            "        return plan\n"
+        )
+        assert "RL004" not in rules_of(src, "src/repro/online/gate.py")
+
+    def test_out_of_scope_module_ignored(self):
+        src = "def f(plan):\n    plan.cost = 1.0\n"
+        assert "RL004" not in rules_of(src, "src/repro/pfs/storage.py")
+
+
+# -- RL005 float equality -------------------------------------------------
+
+
+class TestRL005:
+    def test_float_literal_eq_flagged(self):
+        # the pre-fix features.py pattern
+        src = "def f(spread):\n    spread[spread == 0.0] = 1.0\n    return spread\n"
+        assert "RL005" in rules_of(src, CORE)
+
+    def test_float_literal_noteq_flagged(self):
+        src = "def f(x):\n    return x != 1.5\n"
+        assert "RL005" in rules_of(src, CORE)
+
+    def test_int_roundtrip_flagged(self):
+        # the pre-fix units.py pattern
+        src = "def f(value):\n    return value == int(value)\n"
+        assert "RL005" in rules_of(src, CORE)
+
+    def test_division_result_eq_flagged(self):
+        src = "def f(a, b, c):\n    return a / b == c\n"
+        assert "RL005" in rules_of(src, CORE)
+
+    def test_int_comparison_ok(self):
+        src = "def f(n):\n    return n == 0\n"
+        assert "RL005" not in rules_of(src, CORE)
+
+    def test_ordering_comparison_ok(self):
+        src = "def f(x):\n    return x > 0.0\n"
+        assert "RL005" not in rules_of(src, CORE)
+
+    def test_tests_exempt(self):
+        src = "def f(x):\n    return x == 0.0\n"
+        assert "RL005" not in rules_of(src, TEST)
+
+
+# -- suppressions ----------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        src = "import time\n\n"
+        src += "def f():\n"
+        src += "    return time.time()  # repro-lint: disable=RL001\n"
+        assert rules_of(src, SRC) == []
+
+    def test_suppression_is_rule_specific(self):
+        src = "import time\n\n"
+        src += "def f():\n"
+        src += "    return time.time()  # repro-lint: disable=RL005\n"
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_suppression_is_line_specific(self):
+        src = (
+            "import time\n"
+            "# repro-lint: disable=RL001\n\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_file_wide_suppression(self):
+        src = (
+            "# repro-lint: disable-file=RL001\n"
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        assert rules_of(src, SRC) == []
+
+    def test_multiple_rules_one_comment(self):
+        src = (
+            "import time\n\n"
+            "def f(x):\n"
+            "    return time.time() == 0.0  "
+            "# repro-lint: disable=RL001,RL005\n"
+        )
+        assert rules_of(src, SRC) == []
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        src = (
+            "import time\n\n"
+            "def f():\n"
+            '    s = "# repro-lint: disable=RL001"\n'
+            "    return time.time(), s\n"
+        )
+        assert "RL001" in rules_of(src, SRC)
+
+
+# -- engine / CLI ----------------------------------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        diags = lint_source("def f(:\n", SRC)
+        assert [d.rule for d in diags] == ["RL000"]
+
+    def test_diagnostics_sorted_and_located(self):
+        src = "import time\n\nx = time.time()\ny = time.time()\n"
+        diags = lint_source(src, SRC)
+        assert [d.line for d in diags] == [3, 4]
+        assert all(d.path == SRC for d in diags)
+
+    def test_render_format(self):
+        diag = lint_source("x = time.time()\nimport time\n", SRC)[0]
+        text = diag.render()
+        assert text.startswith(f"{SRC}:1:")
+        assert "RL001" in text
+
+
+class TestCLI:
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert cli_main([str(clean)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_exit_one_with_findings(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "online" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\nx = time.time()\n")
+        assert cli_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path):
+        assert cli_main([str(tmp_path / "nope")]) == 2
+
+    def test_exit_two_on_unknown_rule(self, tmp_path):
+        f = tmp_path / "x.py"
+        f.write_text("x = 1\n")
+        assert cli_main(["--select", "RL999", str(f)]) == 2
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "online" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\nx = time.time()\ny = 1.0 == 2.0\n")
+        assert cli_main(["--select", "RL001", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+        assert "RL005" not in out
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule in out
+
+
+class TestRepositoryIsClean:
+    """The acceptance gate: the shipped tree has zero findings."""
+
+    def test_module_invocation_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.repro_lint", "src", "tests"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,1 @@
+"""Repository tooling (not part of the installable ``repro`` package)."""

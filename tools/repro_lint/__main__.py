@@ -1,0 +1,7 @@
+"""``python -m tools.repro_lint`` dispatch."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

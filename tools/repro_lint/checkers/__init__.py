@@ -1,0 +1,11 @@
+"""Built-in repro-lint checkers.
+
+Importing this package registers every rule module; adding a checker
+means writing a module here and importing it below.
+"""
+
+from . import determinism  # noqa: F401
+from . import float_equality  # noqa: F401
+from . import parallel_safety  # noqa: F401
+from . import purity  # noqa: F401
+from . import units_discipline  # noqa: F401

@@ -1,0 +1,152 @@
+"""RL001 — determinism inside the planning and replay subsystems.
+
+Planning (``schemes/``), simulation (``simulate/``, ``pfs/``) and the
+online controller (``online/``) must produce identical output for
+identical input: the paper's evaluation depends on replaying the same
+trace through the same plan, and the online feedback loop compounds any
+run-to-run jitter into divergent layouts.  Wall-clock reads and
+unseeded (or magic-literal-seeded) RNGs are the two ways nondeterminism
+leaks in.
+
+Allowed: ``np.random.default_rng(SEED_NAME)`` / ``random.Random(SEED)``
+where the seed is a *named* value routed through configuration (see
+``repro.config.DEFAULT_SAMPLE_SEED``) — the name makes the seed
+auditable and overridable, which an inline literal is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Checker, register
+
+_CLOCK_ATTRS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"now", "utcnow", "today"},
+}
+
+_GLOBAL_RANDOM_FUNCS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "seed",
+    "gauss",
+    "normalvariate",
+}
+
+_NP_RANDOM_FUNCS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "seed",
+}
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``np.random.default_rng`` -> ``["np", "random", "default_rng"]``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+@register
+class DeterminismChecker(Checker):
+    rule = "RL001"
+    name = "determinism"
+    description = (
+        "no wall-clock reads or unseeded/magic-seeded RNGs in "
+        "simulate/, pfs/, online/, schemes/"
+    )
+
+    def applies_to(self, ctx) -> bool:
+        return not ctx.is_test and ctx.in_dir("simulate", "pfs", "online", "schemes")
+
+    def check(self, ctx) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if not chain:
+                continue
+            yield from self._check_call(ctx, node, chain)
+
+    def _check_call(
+        self, ctx, node: ast.Call, chain: list[str]
+    ) -> Iterator[Diagnostic]:
+        root, leaf = chain[0], chain[-1]
+        if len(chain) >= 2 and root in _CLOCK_ATTRS and leaf in _CLOCK_ATTRS[root]:
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"wall-clock read `{'.'.join(chain)}()` in a deterministic "
+                "subsystem; take timestamps from the trace instead",
+            )
+            return
+        if len(chain) == 2 and root == "random" and leaf in _GLOBAL_RANDOM_FUNCS:
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"global-state RNG `random.{leaf}()`; use a seeded "
+                "`random.Random(repro.config.DEFAULT_SAMPLE_SEED)` instance",
+            )
+            return
+        if len(chain) >= 3 and chain[-2] == "random" and leaf in _NP_RANDOM_FUNCS:
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"legacy global `{'.'.join(chain)}()`; use a generator from "
+                "`np.random.default_rng(repro.config.DEFAULT_SAMPLE_SEED)`",
+            )
+            return
+        if leaf in {"default_rng", "Random", "RandomState"}:
+            yield from self._check_rng_seed(ctx, node, chain)
+
+    def _check_rng_seed(
+        self, ctx, node: ast.Call, chain: list[str]
+    ) -> Iterator[Diagnostic]:
+        ctor = ".".join(chain)
+        seed = node.args[0] if node.args else None
+        if seed is None:
+            for kw in node.keywords:
+                if kw.arg in {"seed", "x"}:
+                    seed = kw.value
+        if seed is None:
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"unseeded `{ctor}()`; pass a named seed constant "
+                "(e.g. `repro.config.DEFAULT_SAMPLE_SEED`)",
+            )
+        elif isinstance(seed, ast.Constant):
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"inline literal seed in `{ctor}({seed.value!r})`; route the "
+                "seed through a named constant so it is auditable "
+                "(e.g. `repro.config.DEFAULT_SAMPLE_SEED`)",
+            )

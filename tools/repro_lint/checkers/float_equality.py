@@ -1,0 +1,84 @@
+"""RL005 — no exact ``==``/``!=`` on float expressions outside tests.
+
+Eq. 2 costs, feature centroids, and timestamps are all floats that pass
+through enough arithmetic that exact equality is a coin flip.  The
+classic failure is the feature-spread normalisation guard: testing
+``spread == 0.0`` misses a spread of ``1e-17`` and then divides by it.
+Use ``repro.numerics`` (``isclose`` / ``replace_near_zero``) or
+``float.is_integer()`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Checker, register
+
+
+def _is_floatish(node: ast.expr) -> str | None:
+    """Why ``node`` is float-valued, or None if it need not be."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "float":
+            return "float(...) result"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return "true-division result"
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    return None
+
+
+def _int_roundtrip(left: ast.expr, right: ast.expr) -> bool:
+    """``x == int(x)`` — the float-is-integral anti-pattern."""
+    call, other = (left, right) if isinstance(left, ast.Call) else (right, left)
+    return (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id in {"int", "round"}
+        and len(call.args) == 1
+        and ast.dump(call.args[0]) == ast.dump(other)
+    )
+
+
+@register
+class FloatEqualityChecker(Checker):
+    rule = "RL005"
+    name = "float-equality"
+    description = (
+        "no ==/!= on float expressions outside tests; use tolerance "
+        "helpers from repro.numerics"
+    )
+
+    def applies_to(self, ctx) -> bool:
+        parts = ctx.posix_path.split("/")
+        return not ctx.is_test and "src" in parts
+
+    def check(self, ctx) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _int_roundtrip(left, right):
+                    yield self.diagnostic(
+                        ctx,
+                        left.lineno,
+                        left.col_offset,
+                        "`x == int(x)` float-integrality test; use "
+                        "`float.is_integer()` instead",
+                    )
+                    continue
+                reason = _is_floatish(left) or _is_floatish(right)
+                if reason is not None:
+                    yield self.diagnostic(
+                        ctx,
+                        left.lineno,
+                        left.col_offset,
+                        f"exact equality against {reason}; use "
+                        "repro.numerics.isclose / replace_near_zero",
+                    )

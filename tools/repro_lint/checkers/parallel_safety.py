@@ -1,0 +1,155 @@
+"""RL003 — callables handed to ``parallel_map`` must survive pickling.
+
+``repro.core.parallel.parallel_map`` fans work out to worker
+*processes*: the callable is pickled by reference (module + qualname)
+and re-imported in the worker.  Lambdas, closures, and bound methods
+either fail to pickle or — worse — drag their captured state (a
+simulator, a PFS server farm) across the process boundary.  The runtime
+falls back to serial execution when pickling fails, so the bug is a
+silent loss of parallelism rather than a crash; this rule makes it
+loud.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Checker, register
+
+#: names whose capture into a worker is always wrong (simulated state)
+_STATEFUL_NAME_RE = (
+    "sim",
+    "simulator",
+    "server",
+    "servers",
+    "pfs",
+    "client",
+    "clients",
+)
+
+
+def _module_level_names(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+    """(module-level function names, imported module aliases, nested defs)."""
+    top_funcs: set[str] = set()
+    module_aliases: set[str] = set()
+    nested: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            top_funcs.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                module_aliases.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                top_funcs.add(alias.asname or alias.name)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is not node and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(inner.name)
+    return top_funcs, module_aliases, nested
+
+
+def _is_parallel_map(func: ast.expr) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id == "parallel_map"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "parallel_map"
+    return False
+
+
+@register
+class ParallelSafetyChecker(Checker):
+    rule = "RL003"
+    name = "parallel-safety"
+    description = (
+        "parallel_map callables must be module-level functions "
+        "(picklable), never lambdas/closures/bound methods"
+    )
+
+    def check(self, ctx) -> Iterator[Diagnostic]:
+        top_funcs, module_aliases, nested = _module_level_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_parallel_map(node.func):
+                continue
+            fn = node.args[0] if node.args else None
+            if fn is None:
+                for kw in node.keywords:
+                    if kw.arg == "fn":
+                        fn = kw.value
+            if fn is None:
+                continue
+            yield from self._check_callable(ctx, fn, top_funcs, module_aliases, nested)
+
+    def _check_callable(
+        self,
+        ctx,
+        fn: ast.expr,
+        top_funcs: set[str],
+        module_aliases: set[str],
+        nested: set[str],
+    ) -> Iterator[Diagnostic]:
+        if isinstance(fn, ast.Lambda):
+            yield self.diagnostic(
+                ctx,
+                fn.lineno,
+                fn.col_offset,
+                "lambda passed to parallel_map cannot be pickled into worker "
+                "processes; define a module-level function",
+            )
+        elif isinstance(fn, ast.Name):
+            if fn.id in nested and fn.id not in top_funcs:
+                yield self.diagnostic(
+                    ctx,
+                    fn.lineno,
+                    fn.col_offset,
+                    f"`{fn.id}` is a nested function (closure); parallel_map "
+                    "workers can only import module-level callables",
+                )
+        elif isinstance(fn, ast.Attribute):
+            root = fn.value
+            if not (isinstance(root, ast.Name) and root.id in module_aliases):
+                yield self.diagnostic(
+                    ctx,
+                    fn.lineno,
+                    fn.col_offset,
+                    "bound method passed to parallel_map pickles its whole "
+                    "instance into every worker; use a module-level function "
+                    "taking the data explicitly",
+                )
+        elif isinstance(fn, ast.Call):
+            yield from self._check_partial(ctx, fn, top_funcs, module_aliases, nested)
+
+    def _check_partial(
+        self,
+        ctx,
+        call: ast.Call,
+        top_funcs: set[str],
+        module_aliases: set[str],
+        nested: set[str],
+    ) -> Iterator[Diagnostic]:
+        callee = call.func
+        is_partial = (isinstance(callee, ast.Name) and callee.id == "partial") or (
+            isinstance(callee, ast.Attribute) and callee.attr == "partial"
+        )
+        if not is_partial:
+            return
+        if call.args:
+            yield from self._check_callable(
+                ctx, call.args[0], top_funcs, module_aliases, nested
+            )
+        bound = list(call.args[1:]) + [kw.value for kw in call.keywords]
+        for value in bound:
+            if isinstance(value, ast.Name) and value.id.lower() in _STATEFUL_NAME_RE:
+                yield self.diagnostic(
+                    ctx,
+                    value.lineno,
+                    value.col_offset,
+                    f"partial binds `{value.id}` into the worker payload; "
+                    "simulator/server state must not cross the process "
+                    "boundary — pass plain data instead",
+                )

@@ -1,0 +1,217 @@
+"""RL004 — Eq. 2 cost evaluation must be pure.
+
+The gate's replan decision and the planner's stripe search both rank
+candidates by re-evaluating the paper's Eq. 2 cost model many times
+over the same inputs.  That only works if evaluation has no side
+effects: no writes to argument objects, no module-global state, no I/O,
+and no function-level imports (a hidden ``sys.modules`` mutation plus
+first-call filesystem I/O that makes the first evaluation different
+from the rest).  This rule patrols the modules on the Eq. 2 evaluation
+path.
+
+``self``/``cls`` are exempt from the argument-write rule: stateful
+*controllers* (e.g. the cost-benefit gate) may keep internal state, but
+must never write into the params/plan/trace objects they are handed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Checker, register
+
+#: path suffixes of modules on the Eq. 2 evaluation path
+_PURE_MODULE_SUFFIXES = (
+    "repro/core/params.py",
+    "repro/core/features.py",
+    "repro/core/determinator.py",
+    "repro/core/placer.py",
+    "repro/online/gate.py",
+)
+
+_IO_BUILTINS = {"print", "open", "input"}
+_IO_MODULE_ROOTS = {"subprocess", "shutil", "socket", "requests"}
+_IO_METHODS = {"write", "writelines", "flush"}
+
+#: receiver methods that mutate builtin containers in place
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "clear",
+    "sort",
+    "reverse",
+    "update",
+    "add",
+    "discard",
+    "setdefault",
+    "popitem",
+}
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """Leftmost name of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+@register
+class PurityChecker(Checker):
+    rule = "RL004"
+    name = "cost-model-purity"
+    description = (
+        "Eq. 2 evaluation path: no writes to arguments, no globals, "
+        "no I/O, no function-level imports"
+    )
+
+    def applies_to(self, ctx) -> bool:
+        path = ctx.posix_path
+        if path.endswith(_PURE_MODULE_SUFFIXES):
+            return True
+        parts = path.split("/")
+        return (
+            len(parts) >= 2
+            and parts[-2] == "core"
+            and parts[-1].startswith("cost")
+            and path.endswith(".py")
+        )
+
+    def check(self, ctx) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        params = _param_names(fn) - {"self", "cls"}
+        for node in self._own_nodes(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"`{type(node).__name__.lower()}` statement in "
+                    f"`{fn.name}`; Eq. 2 evaluation must not touch "
+                    "module/enclosing state",
+                )
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"function-level import in `{fn.name}` mutates "
+                    "sys.modules and does I/O on first call; hoist it to "
+                    "module scope",
+                )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                yield from self._check_store(ctx, fn, node, params)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, fn, node, params)
+
+    @staticmethod
+    def _own_nodes(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk ``fn`` without descending into nested function defs."""
+        stack = list(fn.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _check_store(
+        self,
+        ctx,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Assign | ast.AnnAssign | ast.AugAssign,
+        params: set[str],
+    ) -> Iterator[Diagnostic]:
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        else:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                targets.extend(target.elts)
+                continue
+            if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                continue
+            root = _root_name(target)
+            if root in params:
+                kind = "attribute" if isinstance(target, ast.Attribute) else "item"
+                yield self.diagnostic(
+                    ctx,
+                    target.lineno,
+                    target.col_offset,
+                    f"`{fn.name}` writes an {kind} of its argument "
+                    f"`{root}`; Eq. 2 evaluation must not mutate its inputs",
+                )
+
+    def _check_call(
+        self,
+        ctx,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Call,
+        params: set[str],
+    ) -> Iterator[Diagnostic]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _IO_BUILTINS:
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"I/O call `{func.id}()` in `{fn.name}`; Eq. 2 evaluation "
+                "must be side-effect free",
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        root = _root_name(func)
+        if root in _IO_MODULE_ROOTS:
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"I/O call `{root}.{func.attr}()` in `{fn.name}`; Eq. 2 "
+                "evaluation must be side-effect free",
+            )
+            return
+        if func.attr in _IO_METHODS:
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"stream `.{func.attr}()` call in `{fn.name}`; Eq. 2 "
+                "evaluation must be side-effect free",
+            )
+            return
+        if (
+            func.attr in _MUTATOR_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in params
+        ):
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"`{fn.name}` calls mutating `.{func.attr}()` on its "
+                f"argument `{func.value.id}`; copy it first",
+            )

@@ -1,0 +1,177 @@
+"""RL002 — byte-quantity literals must use ``repro.units`` constants.
+
+Stripe widths, offsets, and request sizes flow through every layer of
+the pipeline (Eq. 2 cost evaluation, DRT extents, RSSD search bounds).
+A raw ``65536`` in a stripe position is ambiguous — bytes? KiB? — and
+unit drift between layers corrupts the cost model silently.  Any
+power-of-1024-ish literal bound to a byte-quantity name must be spelled
+with ``units.KiB`` / ``units.MiB`` / ``units.GiB``.
+
+Also flags arithmetic or comparison mixing ``*_bytes`` values with
+``*_kb`` / ``*_mb`` values without an explicit conversion.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Checker, register
+
+#: names that denote byte quantities (word-boundary match on ``_`` splits)
+_BYTE_NAME_RE = re.compile(
+    r"(^|_)(stripe|stripes|offset|size|sizes|bytes|length)(_|$)", re.IGNORECASE
+)
+
+#: literal threshold: small counts (e.g. ``n_jobs=8``) are never flagged
+_MIN_LITERAL = 4096
+
+_UNIT_SUFFIXES = {
+    "bytes": ("_bytes",),
+    "KiB": ("_kb", "_kib"),
+    "MiB": ("_mb", "_mib"),
+    "GiB": ("_gb", "_gib"),
+}
+
+
+def _unit_class(name: str) -> str | None:
+    lowered = name.lower()
+    for unit, suffixes in _UNIT_SUFFIXES.items():
+        if lowered.endswith(suffixes):
+            return unit
+    return None
+
+
+def _const_value(node: ast.expr) -> int | None:
+    """Evaluate literal-only integer arithmetic (``64 * 1024``), else None."""
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, int) else None
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Mult, ast.Add, ast.Sub, ast.Pow)
+    ):
+        left = _const_value(node.left)
+        right = _const_value(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if right <= 64:  # Pow; cap to avoid absurd evaluation
+            return left**right
+    return None
+
+
+def _is_raw_byte_literal(node: ast.expr) -> int | None:
+    """The literal's value when it should have been a units constant."""
+    value = _const_value(node)
+    if value is not None and value >= _MIN_LITERAL and value % 1024 == 0:
+        return value
+    return None
+
+
+def _expr_unit(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return _unit_class(node.id)
+    if isinstance(node, ast.Attribute):
+        return _unit_class(node.attr)
+    return None
+
+
+@register
+class UnitsDisciplineChecker(Checker):
+    rule = "RL002"
+    name = "units-discipline"
+    description = (
+        "byte quantities use repro.units constants, not raw literals; "
+        "no *_bytes/*_kb mixing without conversion"
+    )
+
+    def applies_to(self, ctx) -> bool:
+        parts = ctx.posix_path.split("/")
+        return not ctx.is_test and "src" in parts
+
+    def check(self, ctx) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assignment(ctx, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_keywords(ctx, node)
+            elif isinstance(node, (ast.BinOp, ast.Compare)):
+                yield from self._check_unit_mixing(ctx, node)
+
+    # -- raw literals in byte positions ---------------------------------
+
+    def _flag_literal(self, ctx, node: ast.expr, name: str) -> Iterator[Diagnostic]:
+        targets = [node]
+        if isinstance(node, (ast.Tuple, ast.List)):
+            targets = list(node.elts)
+        for target in targets:
+            value = _is_raw_byte_literal(target)
+            if value is not None:
+                if value % (1024 * 1024) == 0:
+                    hint = f"{value // (1024 * 1024)} * MiB"
+                else:
+                    hint = f"{value // 1024} * KiB"
+                yield self.diagnostic(
+                    ctx,
+                    target.lineno,
+                    target.col_offset,
+                    f"raw byte literal {value} bound to `{name}`; use "
+                    f"repro.units constants (e.g. `{hint}`)",
+                )
+
+    def _check_assignment(
+        self, ctx, node: ast.Assign | ast.AnnAssign
+    ) -> Iterator[Diagnostic]:
+        if node.value is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and _BYTE_NAME_RE.search(target.id):
+                yield from self._flag_literal(ctx, node.value, target.id)
+
+    def _check_defaults(
+        self, ctx, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        pos_args = node.args.posonlyargs + node.args.args
+        for arg, default in zip(reversed(pos_args), reversed(node.args.defaults)):
+            if _BYTE_NAME_RE.search(arg.arg):
+                yield from self._flag_literal(ctx, default, arg.arg)
+        for arg, kw_default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+            if kw_default is not None and _BYTE_NAME_RE.search(arg.arg):
+                yield from self._flag_literal(ctx, kw_default, arg.arg)
+
+    def _check_keywords(self, ctx, node: ast.Call) -> Iterator[Diagnostic]:
+        for kw in node.keywords:
+            if kw.arg is not None and _BYTE_NAME_RE.search(kw.arg):
+                yield from self._flag_literal(ctx, kw.value, kw.arg)
+
+    # -- *_bytes vs *_kb mixing -----------------------------------------
+
+    def _check_unit_mixing(
+        self, ctx, node: ast.BinOp | ast.Compare
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.BinOp):
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            operands = [node.left, node.right]
+        else:
+            operands = [node.left, *node.comparators]
+        units = {(u, o) for o in operands if (u := _expr_unit(o)) is not None}
+        seen = {u for u, _ in units}
+        if len(seen) > 1:
+            yield self.diagnostic(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "mixing values in different units ("
+                + ", ".join(sorted(seen))
+                + ") without conversion; convert via repro.units first",
+            )

@@ -1,0 +1,72 @@
+"""Command-line entry point: ``python -m tools.repro_lint src tests``.
+
+Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .engine import lint_paths
+from .registry import all_checkers
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-specific static analysis for the MHA reproduction: "
+            "determinism, units discipline, parallel safety, cost-model "
+            "purity, float equality."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (e.g. RL001,RL004)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.rule}  {checker.name}: {checker.description}")
+        return 0
+
+    paths = list(args.paths) or ["src", "tests"]
+    select = None
+    if args.select:
+        select = [rule.strip() for rule in args.select.split(",") if rule.strip()]
+    try:
+        diagnostics = lint_paths(paths, select=select)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    for diag in diagnostics:
+        print(diag.render())
+    if diagnostics:
+        count = len(diagnostics)
+        plural = "s" if count != 1 else ""
+        print(f"repro-lint: {count} finding{plural}", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,25 @@
+"""Diagnostic records emitted by repro-lint checkers.
+
+A diagnostic pins one rule violation to an exact file/line/column so it
+can be jumped to from a terminal, sorted deterministically, and matched
+against same-line ``# repro-lint: disable=`` suppressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at a precise source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the CLI's output format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,144 @@
+"""File discovery, parsing, and checker dispatch.
+
+The engine walks the requested roots, parses each ``*.py`` once into a
+shared :class:`FileContext` (AST + source + suppression index + scope
+flags), and funnels it through every applicable checker.  Diagnostics on
+suppressed lines are dropped here, centrally, so individual checkers
+never deal with suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic
+from .registry import Checker, all_checkers
+from .suppressions import SuppressionIndex
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+@dataclass
+class FileContext:
+    """Everything checkers need to know about one source file."""
+
+    #: path as shown in diagnostics (relative to the lint root when possible)
+    display_path: str
+    #: source text
+    source: str
+    #: parsed module
+    tree: ast.Module
+    #: suppression comments found in the file
+    suppressions: SuppressionIndex
+    #: ``/``-separated path used for scope decisions, e.g. ``src/repro/core/placer.py``
+    posix_path: str = ""
+    #: scratch space shared between a checker's visitors (per file)
+    cache: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.posix_path:
+            self.posix_path = self.display_path.replace(os.sep, "/")
+
+    @property
+    def is_test(self) -> bool:
+        """Test code gets looser rules (RL002/RL005 skip it)."""
+        parts = self.posix_path.split("/")
+        name = parts[-1]
+        return (
+            "tests" in parts
+            or name.startswith("test_")
+            or name.endswith("_test.py")
+            or name == "conftest.py"
+        )
+
+    def in_dir(self, *fragments: str) -> bool:
+        """Whether the file lives under any of the given directory names."""
+        parts = set(self.posix_path.split("/")[:-1])
+        return any(fragment in parts for fragment in fragments)
+
+
+def iter_python_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``*.py`` paths."""
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                found.add(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+                )
+                for filename in filenames:
+                    if filename.endswith(".py"):
+                        found.add(os.path.join(dirpath, filename))
+        else:
+            raise FileNotFoundError(path)
+    return sorted(found)
+
+
+def make_context(source: str, display_path: str) -> FileContext:
+    """Parse ``source`` into a :class:`FileContext`.
+
+    Raises :class:`SyntaxError` if the source does not parse; the caller
+    turns that into a diagnostic.
+    """
+    tree = ast.parse(source, filename=display_path)
+    return FileContext(
+        display_path=display_path,
+        source=source,
+        tree=tree,
+        suppressions=SuppressionIndex.from_source(source),
+    )
+
+
+def lint_source(
+    source: str,
+    display_path: str,
+    checkers: Sequence[Checker] | None = None,
+) -> list[Diagnostic]:
+    """Lint one in-memory source blob (the unit tests' entry point)."""
+    if checkers is None:
+        checkers = all_checkers()
+    try:
+        ctx = make_context(source, display_path)
+    except SyntaxError as exc:
+        diag = Diagnostic(
+            path=display_path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule="RL000",
+            message=f"syntax error: {exc.msg}",
+        )
+        return [diag]
+    diagnostics = [
+        diag
+        for checker in checkers
+        if checker.applies_to(ctx)
+        for diag in checker.check(ctx)
+        if not ctx.suppressions.is_suppressed(diag.rule, diag.line)
+    ]
+    return sorted(diagnostics)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint every python file reachable from ``paths``."""
+    checkers = all_checkers(select)
+    diagnostics: list[Diagnostic] = []
+    root = os.getcwd()
+    for filepath in iter_python_files(paths):
+        display = os.path.relpath(filepath, root)
+        if display.startswith(".."):
+            display = filepath
+        with open(filepath, encoding="utf-8") as handle:
+            source = handle.read()
+        diagnostics.extend(lint_source(source, display, checkers))
+    return sorted(diagnostics)

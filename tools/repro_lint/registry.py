@@ -1,0 +1,73 @@
+"""Pluggable checker registry.
+
+A checker is a class with a ``rule`` id, a one-line ``description``, an
+``applies_to(ctx)`` scope predicate, and a ``check(ctx)`` generator of
+:class:`~tools.repro_lint.diagnostics.Diagnostic`.  Decorating it with
+:func:`register` makes the CLI pick it up; nothing else is needed to add
+a rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Type, TYPE_CHECKING
+
+from .diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import FileContext
+
+
+class Checker:
+    """Base class for repro-lint rules."""
+
+    #: rule identifier, e.g. ``"RL001"``
+    rule: str = ""
+    #: short human-readable name shown by ``--list-rules``
+    name: str = ""
+    #: one-line description of the protected invariant
+    description: str = ""
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: every file)."""
+        return True
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        """Yield diagnostics for ``ctx``; must not mutate it."""
+        raise NotImplementedError
+
+    def diagnostic(
+        self, ctx: "FileContext", line: int, col: int, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic for this rule at a location in ``ctx``."""
+        return Diagnostic(
+            path=ctx.display_path, line=line, col=col, rule=self.rule, message=message
+        )
+
+
+_REGISTRY: dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.rule:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if cls.rule in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def all_checkers(select: Iterable[str] | None = None) -> list[Checker]:
+    """Instantiate registered checkers, optionally restricted to ``select``."""
+    # Import for side effect: checker modules self-register on import.
+    from . import checkers  # noqa: F401
+
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in sorted(_REGISTRY) if r in wanted]
+    else:
+        rules = sorted(_REGISTRY)
+    return [_REGISTRY[rule]() for rule in rules]

@@ -1,0 +1,62 @@
+"""``# repro-lint: disable=<rule>[,<rule>...]`` suppression comments.
+
+Suppressions are *scoped and explicit*: a comment silences only the
+named rules, only on its own physical line (or, with ``disable-file=``,
+across the whole file).  Comments are located with :mod:`tokenize` so
+string literals that merely *contain* the marker text are never
+mistaken for suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Z]{2}[0-9]{3}(?:\s*,\s*[A-Z]{2}[0-9]{3})*)"
+)
+
+
+class SuppressionIndex:
+    """Per-file map of suppressed rules, by line and file-wide."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Collect every suppression comment in ``source``.
+
+        Unparseable sources yield an empty index — the engine reports
+        the syntax error separately, and suppressions in a broken file
+        are moot.
+        """
+        index = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _DISABLE_RE.search(tok.string)
+                if match is None:
+                    continue
+                rules = {r.strip() for r in match.group("rules").split(",")}
+                if match.group("scope") == "disable-file":
+                    index._file_wide |= rules
+                else:
+                    index._by_line.setdefault(tok.start[0], set()).update(rules)
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            pass
+        return index
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is silenced on ``line``."""
+        if rule in self._file_wide:
+            return True
+        return rule in self._by_line.get(line, set())
+
+    def __len__(self) -> int:
+        return len(self._file_wide) + sum(len(v) for v in self._by_line.values())
