@@ -1,0 +1,130 @@
+"""Flat-replay microbenchmark: the event-free kernel vs the event engine.
+
+Replays the same IOR trace (32 ranks, mixed 16/64 KiB requests, client
+NICs modelled, latencies kept) through both engines for the DEF and MHA
+layouts, asserts the flat kernel's results are *bit-identical* to the
+event engine's, and records throughput in records/second (reported
+through the ``candidates_per_sec`` field the CI gate compares):
+
+* ``replay-event-def`` / ``replay-flat-def`` — the default striping
+  layout, event vs flat;
+* ``replay-flat-mha`` — the flat kernel over the full MHA pipeline's
+  redirector view (batched DRT translation + per-region mapping).
+
+Results are written to ``BENCH_replay.json`` (override with the
+``REPRO_BENCH_OUT`` environment variable) and CI gates them against
+``benchmarks/baselines/BENCH_replay.json`` with the same >30%
+regression tolerance as the other benchmarks.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+
+from harness.bench import BenchReport, PhaseResult  # noqa: E402
+
+from repro.cluster import ClusterSpec  # noqa: E402
+from repro.pfs import HybridPFS, replay_trace  # noqa: E402
+from repro.schemes import make_scheme  # noqa: E402
+from repro.units import KiB, MiB  # noqa: E402
+from repro.workloads import IORWorkload  # noqa: E402
+
+REPEATS = 3
+MIN_SPEEDUP_ANY = 5.0  # the tentpole claim: >=5x on at least one layout
+MIN_SPEEDUP_EACH = 4.0  # robustness floor per layout (CI noise margin)
+
+
+def best_of(fn, repeats: int = REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def report():
+    rep = BenchReport(bench="flat-replay")
+    rep.collect_environment()
+    yield rep
+    out = os.environ.get("REPRO_BENCH_OUT", str(REPO_ROOT / "BENCH_replay.json"))
+    rep.write(out)
+    print(f"\nwrote {out}")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = ClusterSpec(model_client_nics=True)
+    trace = IORWorkload(
+        num_processes=32,
+        request_sizes=[16 * KiB, 64 * KiB],
+        total_size=256 * MiB,
+        seed=7,
+        file="f",
+    ).trace("write")
+    return spec, trace
+
+
+def _replay(spec, trace, view, engine):
+    pfs = HybridPFS(spec)
+    return replay_trace(pfs, view, trace, keep_latencies=True, engine=engine), pfs
+
+
+def _bench_scheme(report, spec, trace, name, record_event_phase):
+    view = make_scheme(name).build(spec, trace)
+    event_wall, (event_metrics, event_pfs) = best_of(
+        lambda: _replay(spec, trace, view, "event")
+    )
+    flat_wall, (flat_metrics, flat_pfs) = best_of(
+        lambda: _replay(spec, trace, view, "flat")
+    )
+
+    # bit-identity: same makespan, same latency stream, same per-server
+    # accounting (exact float equality is the contract, not a tolerance)
+    assert flat_metrics.makespan == event_metrics.makespan
+    assert flat_metrics.latencies == event_metrics.latencies
+    for flat_srv, event_srv in zip(flat_pfs.servers, event_pfs.servers):
+        assert flat_srv.busy_time == event_srv.busy_time
+        assert flat_srv.stats == event_srv.stats
+
+    speedup = event_wall / flat_wall
+    if record_event_phase:
+        report.add(
+            PhaseResult.from_timing(f"replay-event-{name.lower()}", event_wall, len(trace))
+        )
+    report.add(
+        PhaseResult.from_timing(
+            f"replay-flat-{name.lower()}", flat_wall, len(trace), scalar_wall_s=event_wall
+        )
+    )
+    print(
+        f"\nreplay {name}: {len(trace)} records, "
+        f"event {event_wall * 1e3:.1f} ms, flat {flat_wall * 1e3:.1f} ms "
+        f"({len(trace) / flat_wall:,.0f} rec/s, {speedup:.1f}x)"
+    )
+    return speedup
+
+
+def test_flat_replay_speedup(report, workload):
+    """Flat kernel >=5x the event engine, bit-identical results."""
+    spec, trace = workload
+    speedups = [
+        _bench_scheme(report, spec, trace, "DEF", record_event_phase=True),
+        _bench_scheme(report, spec, trace, "MHA", record_event_phase=False),
+    ]
+    assert max(speedups) >= MIN_SPEEDUP_ANY, (
+        f"flat kernel best speedup {max(speedups):.1f}x below the "
+        f"{MIN_SPEEDUP_ANY:.0f}x target"
+    )
+    assert min(speedups) >= MIN_SPEEDUP_EACH, (
+        f"flat kernel worst speedup {min(speedups):.1f}x below the "
+        f"{MIN_SPEEDUP_EACH:.0f}x floor"
+    )

@@ -13,7 +13,7 @@ seeds and unseeded generators are rejected; named seeds pass).
 
 from __future__ import annotations
 
-__all__ = ["DEFAULT_SAMPLE_SEED"]
+__all__ = ["DEFAULT_REPLAY_ENGINE", "DEFAULT_SAMPLE_SEED"]
 
 #: Seed for every deterministic sampling RNG in the planning pipeline
 #: (trace subsampling, k-means initialisation, tie-breaking).  Changing
@@ -21,3 +21,12 @@ __all__ = ["DEFAULT_SAMPLE_SEED"]
 #: but byte-identical reproduction of recorded results requires the
 #: recorded seed.
 DEFAULT_SAMPLE_SEED: int = 0
+
+#: Replay engine used when the caller does not pick one: ``"flat"``
+#: (the event-free queue-tail kernel of :mod:`repro.pfs.flat`) or
+#: ``"event"`` (the generator-process engine).  The two are
+#: bit-identical on every metric — property-tested in
+#: ``tests/pfs/test_flat_replay.py`` — so this is purely a speed
+#: default; replays needing per-record hooks fall back to the event
+#: engine automatically.
+DEFAULT_REPLAY_ENGINE: str = "flat"

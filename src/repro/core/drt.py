@@ -26,7 +26,9 @@ import struct
 from bisect import bisect_right
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from ..exceptions import RedirectionError
 from ..kvstore import HashDB, LRUCache
@@ -92,6 +94,11 @@ class DRT:
         self._entries: dict[str, list[DRTEntry]] = {}
         self._count = 0
         self._cache: LRUCache[tuple[str, int], DRTEntry] = LRUCache(cache_capacity)
+        # per original file: o_offset of the most recently served entry —
+        # the probe key into the hot-entry list (§IV-A)
+        self._hot: dict[str, int] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._db: HashDB | None = None
         if path is not None:
             self._db = HashDB(path, sync=sync)
@@ -162,11 +169,45 @@ class DRT:
         """All entries of one original file, offset-sorted."""
         return list(self._entries.get(o_file, ()))
 
+    def _probe(self, o_file: str, offset: int) -> DRTEntry | None:
+        """A hot entry covering ``offset``, if the LRU list has one.
+
+        Two O(1) chances before the bisect walk: the file's most
+        recently served entry (repeated/sequential lookups inside one
+        entry), then the LRU list keyed by exact entry start (a lookup
+        revisiting an entry served earlier — e.g. re-reading data —
+        starts exactly where the entry does in the common aligned
+        case).  Entries are never removed from the table, so a cached
+        entry can never be stale; a successful probe short-circuits
+        the walk entirely.
+        """
+        key = self._hot.get(o_file)
+        if key is not None:
+            entry = self._cache.get((o_file, key))
+            if entry is not None and entry.o_offset <= offset < entry.o_end:
+                return entry
+        entry = self._cache.get((o_file, offset))
+        if entry is not None and offset < entry.o_end:
+            self._hot[o_file] = offset
+            return entry
+        return None
+
+    def _remember(self, o_file: str, entry: DRTEntry) -> None:
+        self._cache.put((o_file, entry.o_offset), entry)
+        self._hot[o_file] = entry.o_offset
+
     def entry_at(self, o_file: str, offset: int) -> DRTEntry | None:
         """The entry covering byte ``offset`` of ``o_file``, if any.
 
-        Served through the hot-entry LRU list (§IV-A).
+        Served through the hot-entry LRU list (§IV-A): a probe of the
+        file's most recently served entry answers repeated/sequential
+        lookups without touching the sorted table.
         """
+        entry = self._probe(o_file, offset)
+        if entry is not None:
+            self._cache_hits += 1
+            return entry
+        self._cache_misses += 1
         starts = self._starts.get(o_file)
         if not starts:
             return None
@@ -174,30 +215,20 @@ class DRT:
         if idx < 0:
             return None
         entry = self._entries[o_file][idx]
-        cached = self._cache.get((o_file, entry.o_offset))
-        if cached is None:
-            self._cache.put((o_file, entry.o_offset), entry)
         if offset < entry.o_end:
+            self._remember(o_file, entry)
             return entry
         return None
 
-    def translate(self, o_file: str, offset: int, length: int) -> list[TranslatedExtent]:
-        """Split ``[offset, offset+length)`` of the original file into
-        current locations (region extents and unmapped fall-throughs).
-
-        Fragments are returned in ascending ``logical_offset`` order and
-        tile the request exactly.
-        """
-        if offset < 0 or length < 0:
-            raise RedirectionError("offset and length must be non-negative")
+    def _translate_walk(
+        self, o_file: str, offset: int, end: int, idx: int
+    ) -> list[TranslatedExtent]:
+        """The slow translation path: walk entries from sorted index
+        ``idx`` (pre-clamped to >= 0); caches the last entry served."""
         result: list[TranslatedExtent] = []
-        starts = self._starts.get(o_file, [])
         entries = self._entries.get(o_file, [])
+        served: DRTEntry | None = None
         cursor = offset
-        end = offset + length
-        idx = bisect_right(starts, cursor) - 1
-        if idx < 0:
-            idx = 0
         while cursor < end:
             entry = entries[idx] if idx < len(entries) else None
             if entry is not None and entry.o_end <= cursor:
@@ -237,8 +268,99 @@ class DRT:
                     mapped=True,
                 )
             )
+            served = entry
             cursor += take
             idx += 1
+        if served is not None:
+            self._remember(o_file, served)
+        return result
+
+    def translate(self, o_file: str, offset: int, length: int) -> list[TranslatedExtent]:
+        """Split ``[offset, offset+length)`` of the original file into
+        current locations (region extents and unmapped fall-throughs).
+
+        Fragments are returned in ascending ``logical_offset`` order and
+        tile the request exactly.  Requests fully inside the file's hot
+        entry are answered from the cache probe without a bisect.
+        """
+        if offset < 0 or length < 0:
+            raise RedirectionError("offset and length must be non-negative")
+        if length == 0:
+            return []
+        end = offset + length
+        entry = self._probe(o_file, offset)
+        if entry is not None and end <= entry.o_end:
+            self._cache_hits += 1
+            return [
+                TranslatedExtent(
+                    file=entry.r_file,
+                    offset=entry.r_offset + (offset - entry.o_offset),
+                    length=length,
+                    logical_offset=offset,
+                    mapped=True,
+                )
+            ]
+        self._cache_misses += 1
+        starts = self._starts.get(o_file, [])
+        idx = bisect_right(starts, offset) - 1
+        if idx < 0:
+            idx = 0
+        return self._translate_walk(o_file, offset, end, idx)
+
+    def translate_many(
+        self, o_file: str, offsets: Sequence[int], lengths: Sequence[int]
+    ) -> list[list[TranslatedExtent]]:
+        """Batch :meth:`translate` over parallel offset/length arrays.
+
+        One vectorized ``searchsorted`` replaces the per-record bisect;
+        per-record results (and cache hit/miss accounting) are identical
+        to calling :meth:`translate` in sequence.
+        """
+        off = np.asarray(offsets, dtype=np.int64).reshape(-1)
+        lng = np.asarray(lengths, dtype=np.int64).reshape(-1)
+        if off.shape != lng.shape:
+            raise RedirectionError(
+                f"offsets ({off.size}) and lengths ({lng.size}) must match"
+            )
+        if off.size == 0:
+            return []
+        if int(off.min()) < 0 or int(lng.min()) < 0:
+            raise RedirectionError("offset and length must be non-negative")
+        starts = self._starts.get(o_file, [])
+        idx0 = np.maximum(
+            np.searchsorted(
+                np.asarray(starts, dtype=np.int64), off, side="right"
+            )
+            - 1,
+            0,
+        ).tolist()
+        off_list = off.tolist()
+        lng_list = lng.tolist()
+        result: list[list[TranslatedExtent]] = []
+        for k in range(len(off_list)):
+            offset = off_list[k]
+            length = lng_list[k]
+            if length == 0:
+                result.append([])
+                continue
+            end = offset + length
+            entry = self._probe(o_file, offset)
+            if entry is not None and end <= entry.o_end:
+                self._cache_hits += 1
+                result.append(
+                    [
+                        TranslatedExtent(
+                            file=entry.r_file,
+                            offset=entry.r_offset + (offset - entry.o_offset),
+                            length=length,
+                            logical_offset=offset,
+                            mapped=True,
+                        )
+                    ]
+                )
+                continue
+            self._cache_misses += 1
+            result.append(self._translate_walk(o_file, offset, end, idx0[k]))
         return result
 
     # -- stats / persistence ---------------------------------------------
@@ -247,6 +369,22 @@ class DRT:
     def cache(self) -> LRUCache[tuple[str, int], DRTEntry]:
         """The hot-entry list (for statistics)."""
         return self._cache
+
+    @property
+    def cache_hits(self) -> int:
+        """Lookups fully served by the hot-entry probe."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Lookups that fell through to the sorted-table walk."""
+        return self._cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hot-probe hits / lookups, 0.0 before any lookup (Fig. 14)."""
+        total = self._cache_hits + self._cache_misses
+        return self._cache_hits / total if total else 0.0
 
     def numeric_bytes(self) -> int:
         """Total numeric payload, i.e. ``len(self) * 24`` bytes (§V-E2)."""

@@ -111,12 +111,28 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="render results as ASCII bar charts instead of tables",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("flat", "event"),
+        default=None,
+        help="replay engine (default: the flat queue-tail kernel)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per figure (default 1 = serial)",
+    )
     args = parser.parse_args(argv)
 
     wanted = sorted(ALL_FIGURES) if "all" in args.figures else args.figures
     kwargs = {}
     if args.schemes:
         kwargs["schemes"] = tuple(s.strip().upper() for s in args.schemes.split(","))
+    if args.engine:
+        kwargs["engine"] = args.engine
+    if args.jobs is not None:
+        kwargs["n_jobs"] = args.jobs
 
     for fig in wanted:
         fn = ALL_FIGURES[fig]

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cluster import ClusterSpec
+from ..core.parallel import parallel_map
 from ..pfs.replay import RunMetrics, run_workload
 from ..schemes.registry import make_scheme, scheme_names
 from ..tracing.record import Trace
@@ -67,18 +68,28 @@ def run_scheme(
     replay_trace_: Trace | None = None,
     *,
     scheme_kwargs: dict | None = None,
+    engine: str | None = None,
 ) -> SchemeRun:
     """Build scheme ``name`` from ``profile_trace`` and replay.
 
     ``replay_trace_`` defaults to the profile trace (the paper's
     "subsequent runs" repeat the profiled pattern); pass a different
-    trace to study mispredicted patterns.
+    trace to study mispredicted patterns.  ``engine`` picks the replay
+    engine (see :func:`repro.pfs.replay.replay_trace`).
     """
     scheme = make_scheme(name, **(scheme_kwargs or {}))
     view = scheme.build(spec, profile_trace)
     replay = replay_trace_ if replay_trace_ is not None else profile_trace
-    metrics = run_workload(spec, view, replay)
+    metrics = run_workload(spec, view, replay, engine=engine)
     return SchemeRun(scheme=name, metrics=metrics)
+
+
+def _scheme_task(
+    task: tuple[str, ClusterSpec, Trace, dict | None, str | None],
+) -> SchemeRun:
+    """Module-level (picklable) task body for the scheme fan-out."""
+    name, spec, trace, kwargs, engine = task
+    return run_scheme(name, spec, trace, scheme_kwargs=kwargs, engine=engine)
 
 
 def compare_schemes(
@@ -88,13 +99,28 @@ def compare_schemes(
     *,
     label: str = "",
     scheme_kwargs: dict[str, dict] | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> Comparison:
-    """Run every scheme on one workload trace; returns paired results."""
+    """Run every scheme on one workload trace; returns paired results.
+
+    Scheme runs are independent (each builds its own PFS), so
+    ``n_jobs`` > 1 fans them out across processes via
+    :func:`repro.core.parallel.parallel_map`; the default of 1 stays
+    serial (pass ``None`` to defer to ``REPRO_JOBS``/CPU count).
+    """
     schemes = schemes if schemes is not None else scheme_names()
     scheme_kwargs = scheme_kwargs or {}
+    tasks = [
+        (name, spec, trace, scheme_kwargs.get(name), engine) for name in schemes
+    ]
+    runs = parallel_map(
+        _scheme_task,
+        tasks,
+        n_jobs=n_jobs,
+        labels=[f"{label or 'compare'}/{name}" for name in schemes],
+    )
     comparison = Comparison(label=label)
-    for name in schemes:
-        comparison.runs[name] = run_scheme(
-            name, spec, trace, scheme_kwargs=scheme_kwargs.get(name)
-        )
+    for name, run in zip(schemes, runs):
+        comparison.runs[name] = run
     return comparison

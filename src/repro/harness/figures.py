@@ -71,6 +71,8 @@ def fig07_ior_mixed_sizes(
     total_mib: int = 32,
     schemes: Sequence[str] | None = None,
     seed: int = 0,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """IOR bandwidth with mixed request sizes (reads and writes)."""
     spec = spec or ClusterSpec()
@@ -88,7 +90,9 @@ def fig07_ior_mixed_sizes(
         )
         for op in (READ, WRITE):
             trace = workload.trace(op)
-            comparison = compare_schemes(spec, trace, schemes)
+            comparison = compare_schemes(
+                spec, trace, schemes, engine=engine, n_jobs=n_jobs
+            )
             row = f"{_mix_label(mix)} {op}"
             for name in schemes:
                 result.add(row, name, bandwidth_mib(comparison.bandwidth(name)))
@@ -104,6 +108,8 @@ def fig08_server_io_time(
     schemes: Sequence[str] | None = None,
     op: str = WRITE,
     seed: int = 0,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """Per-server I/O time under each scheme, normalized to the minimum
     server time under MHA (the paper's normalization)."""
@@ -116,7 +122,9 @@ def fig08_server_io_time(
         seed=seed,
     )
     trace = workload.trace(op)
-    comparison = compare_schemes(spec, trace, schemes)
+    comparison = compare_schemes(
+        spec, trace, schemes, engine=engine, n_jobs=n_jobs
+    )
     result = FigureResult(
         figure="Fig 8",
         title=f"per-server I/O time, sizes {_mix_label(size_mix)}",
@@ -143,6 +151,8 @@ def fig09_ior_mixed_procs(
     request_kib: int = 256,
     group_mib: int = 16,
     schemes: Sequence[str] | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """IOR bandwidth with mixed process numbers (reads and writes)."""
     spec = spec or ClusterSpec()
@@ -159,7 +169,9 @@ def fig09_ior_mixed_procs(
         )
         for op in (READ, WRITE):
             trace = workload.trace(op)
-            comparison = compare_schemes(spec, trace, schemes)
+            comparison = compare_schemes(
+                spec, trace, schemes, engine=engine, n_jobs=n_jobs
+            )
             row = f"{_mix_label(mix)} {op}"
             for name in schemes:
                 result.add(row, name, bandwidth_mib(comparison.bandwidth(name)))
@@ -175,6 +187,8 @@ def fig10_server_ratios(
     total_mib: int = 32,
     schemes: Sequence[str] | None = None,
     seed: int = 0,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """IOR bandwidth across HServer:SServer ratios."""
     base_spec = base_spec or ClusterSpec()
@@ -193,7 +207,9 @@ def fig10_server_ratios(
         spec = base_spec.with_ratio(m, n)
         for op in (READ, WRITE):
             trace = workload.trace(op)
-            comparison = compare_schemes(spec, trace, schemes)
+            comparison = compare_schemes(
+                spec, trace, schemes, engine=engine, n_jobs=n_jobs
+            )
             row = f"{m}h:{n}s {op}"
             for name in schemes:
                 result.add(row, name, bandwidth_mib(comparison.bandwidth(name)))
@@ -208,6 +224,8 @@ def fig11_hpio(
     region_kibs: Sequence[int] = (16, 32, 64),
     schemes: Sequence[str] | None = None,
     op: str = WRITE,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """HPIO bandwidth over process counts (mixed region sizes)."""
     spec = spec or ClusterSpec()
@@ -223,7 +241,9 @@ def fig11_hpio(
             region_sizes=[k * KiB for k in region_kibs],
         )
         trace = workload.trace(op)
-        comparison = compare_schemes(spec, trace, schemes)
+        comparison = compare_schemes(
+            spec, trace, schemes, engine=engine, n_jobs=n_jobs
+        )
         row = f"{procs} procs"
         for name in schemes:
             result.add(row, name, bandwidth_mib(comparison.bandwidth(name)))
@@ -237,6 +257,8 @@ def fig12a_btio(
     steps: int = 20,
     scale: float = 1 / 64,
     schemes: Sequence[str] | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """BTIO aggregate bandwidth (class B + C sizes interleaved)."""
     spec = spec or ClusterSpec()
@@ -245,7 +267,9 @@ def fig12a_btio(
     for procs in proc_counts:
         workload = BTIOWorkload(num_processes=procs, steps=steps, scale=scale)
         trace = workload.trace(WRITE)
-        comparison = compare_schemes(spec, trace, schemes)
+        comparison = compare_schemes(
+            spec, trace, schemes, engine=engine, n_jobs=n_jobs
+        )
         row = f"{procs} procs"
         for name in schemes:
             result.add(row, name, bandwidth_mib(comparison.bandwidth(name)))
@@ -258,9 +282,13 @@ def _trace_figure(
     trace: Trace,
     spec: ClusterSpec,
     schemes: Sequence[str],
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     result = FigureResult(figure=figure, title=title)
-    comparison = compare_schemes(spec, trace, tuple(schemes))
+    comparison = compare_schemes(
+        spec, trace, tuple(schemes), engine=engine, n_jobs=n_jobs
+    )
     for name in schemes:
         result.add("bandwidth", name, bandwidth_mib(comparison.bandwidth(name)))
     return result
@@ -272,12 +300,16 @@ def fig12b_lanl(
     num_processes: int = 8,
     loops: int = 48,
     schemes: Sequence[str] | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """LANL anonymous-application trace replay."""
     spec = spec or ClusterSpec()
     schemes = tuple(schemes or scheme_names())
     trace = LANLWorkload(num_processes=num_processes, loops=loops).trace(WRITE)
-    return _trace_figure("Fig 12b", "LANL trace replay", trace, spec, schemes)
+    return _trace_figure(
+        "Fig 12b", "LANL trace replay", trace, spec, schemes, engine=engine, n_jobs=n_jobs
+    )
 
 
 def fig13a_lu(
@@ -286,12 +318,16 @@ def fig13a_lu(
     num_processes: int = 8,
     slabs: int = 24,
     schemes: Sequence[str] | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """Out-of-core LU decomposition trace replay (8 per-process files)."""
     spec = spec or ClusterSpec()
     schemes = tuple(schemes or scheme_names())
     trace = LUWorkload(num_processes=num_processes, slabs=slabs).trace()
-    return _trace_figure("Fig 13a", "LU trace replay", trace, spec, schemes)
+    return _trace_figure(
+        "Fig 13a", "LU trace replay", trace, spec, schemes, engine=engine, n_jobs=n_jobs
+    )
 
 
 def fig13b_cholesky(
@@ -301,6 +337,8 @@ def fig13b_cholesky(
     panels: int = 20,
     schemes: Sequence[str] | None = None,
     seed: int = 7,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """Sparse Cholesky trace replay (highly skewed request sizes)."""
     spec = spec or ClusterSpec()
@@ -308,7 +346,9 @@ def fig13b_cholesky(
     trace = CholeskyWorkload(
         num_processes=num_processes, panels=panels, seed=seed
     ).trace()
-    return _trace_figure("Fig 13b", "Cholesky trace replay", trace, spec, schemes)
+    return _trace_figure(
+        "Fig 13b", "Cholesky trace replay", trace, spec, schemes, engine=engine, n_jobs=n_jobs
+    )
 
 
 def fig14_redirection_overhead(
@@ -360,7 +400,11 @@ def fig14_redirection_overhead(
         result.add(row, "direct", direct_us)
         result.add(row, "redirected", redirected_us)
         result.add(row, "overhead%", 100.0 * (redirected_us / direct_us - 1.0))
-    result.note("overhead%% is the added mapping cost of the DRT lookup path")
+        result.add(row, "lru_hit%", 100.0 * redirector.drt.cache_hit_rate)
+    result.note(
+        "overhead%% is the added mapping cost of the DRT lookup path; "
+        "lru_hit%% is the share of lookups served by the hot-entry probe"
+    )
     return result
 
 

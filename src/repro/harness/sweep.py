@@ -12,8 +12,10 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence
 
 from ..cluster import ClusterSpec
+from ..core.parallel import parallel_map
+from ..schemes.registry import scheme_names
 from ..tracing.record import Trace
-from .experiment import compare_schemes
+from .experiment import SchemeRun, run_scheme
 from .report import FigureResult, bandwidth_mib
 
 __all__ = ["sweep", "SweepPoint"]
@@ -30,6 +32,14 @@ class SweepPoint:
         self.trace = trace
 
 
+def _sweep_cell(
+    task: tuple[str, ClusterSpec, Trace, str, dict | None, str | None],
+) -> SchemeRun:
+    """Module-level (picklable) task body for one point × scheme cell."""
+    name, spec, trace, _label, kwargs, engine = task
+    return run_scheme(name, spec, trace, scheme_kwargs=kwargs, engine=engine)
+
+
 def sweep(
     points: Iterable[SweepPoint],
     schemes: Sequence[str] | None = None,
@@ -37,8 +47,15 @@ def sweep(
     title: str = "custom sweep",
     figure: str = "sweep",
     scheme_kwargs: dict[str, dict] | None = None,
+    engine: str | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
     """Run every scheme on every sweep point.
+
+    Every (point, scheme) cell is independent, so the whole grid is
+    flattened and fanned out across ``n_jobs`` processes (default 1 =
+    serial; ``None`` defers to ``REPRO_JOBS``/CPU count).  ``engine``
+    picks the replay engine for every cell.
 
     Example — vary the request size::
 
@@ -50,17 +67,23 @@ def sweep(
         ]
         print(sweep(points))
     """
+    names = tuple(schemes) if schemes else scheme_names()
+    kwargs = scheme_kwargs or {}
+    point_list = list(points)
+    tasks = [
+        (name, point.spec, point.trace, point.label, kwargs.get(name), engine)
+        for point in point_list
+        for name in names
+    ]
+    runs = parallel_map(
+        _sweep_cell,
+        tasks,
+        n_jobs=n_jobs,
+        labels=[f"{task[3]}/{task[0]}" for task in tasks],
+    )
     result = FigureResult(figure=figure, title=title)
-    for point in points:
-        comparison = compare_schemes(
-            point.spec,
-            point.trace,
-            tuple(schemes) if schemes else None,
-            label=point.label,
-            scheme_kwargs=scheme_kwargs,
-        )
-        for name, run in comparison.runs.items():
-            result.add(point.label, name, bandwidth_mib(run.metrics.bandwidth))
+    for task, run in zip(tasks, runs):
+        result.add(task[3], task[0], bandwidth_mib(run.metrics.bandwidth))
     return result
 
 

@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..exceptions import LayoutError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .batch import MergedRuns
 
 __all__ = ["SubRequest", "Layout", "check_tiling"]
 
@@ -78,6 +81,30 @@ class Layout(abc.ABC):
         Fragments are returned in ascending ``logical_offset`` order and
         tile the extent exactly.  A zero-length extent maps to ``[]``.
         """
+
+    def map_extents(
+        self, offsets: Sequence[int], lengths: Sequence[int]
+    ) -> list[list[SubRequest]]:
+        """Batch :meth:`map_extent` over parallel offset/length arrays.
+
+        The default is a per-extent loop; layouts with a vectorized
+        kernel override it (the result must be element-identical).
+        """
+        return [
+            self.map_extent(int(offset), int(length))
+            for offset, length in zip(offsets, lengths)
+        ]
+
+    def merged_extent_runs(
+        self, offsets: Sequence[int], lengths: Sequence[int]
+    ) -> "MergedRuns | None":
+        """Columnar *merged* runs for a batch of extents, or ``None``.
+
+        ``None`` means this layout has no batch kernel; callers fall
+        back to ``map_extent`` + ``merge_fragments`` through
+        :func:`repro.layouts.batch.merged_runs_of`.
+        """
+        return None
 
     def locate(self, offset: int) -> SubRequest:
         """The fragment containing the single byte at ``offset``."""

@@ -20,6 +20,7 @@ from typing import Sequence
 
 from ..exceptions import LayoutError
 from .base import Layout, SubRequest
+from .batch import MergedRuns, merged_runs_of
 
 __all__ = ["Region", "RegionLayout"]
 
@@ -125,6 +126,80 @@ class RegionLayout(Layout):
                 )
             cursor = region_end
         return fragments
+
+    def merged_extent_runs(
+        self, offsets: Sequence[int], lengths: Sequence[int]
+    ) -> MergedRuns | None:
+        """Batch kernel: split extents at region boundaries, batch each
+        region's pieces through its sublayout, reassemble per extent.
+
+        Pieces of one extent cover ascending logical ranges and each
+        piece's runs come out first-logical-sorted, so concatenating
+        pieces in split order keeps the extent's runs sorted.  Requires
+        every region to use a distinct storage object — otherwise runs
+        could merge *across* regions and the exact per-extent object
+        path must be used instead (``None`` is returned).
+        """
+        region_objs = [region.layout.obj for region in self._regions]
+        if len(set(region_objs)) != len(region_objs):
+            return None
+        n = len(offsets)
+        last = len(self._regions) - 1
+        # per extent: (region index, position in that region's batch)
+        pieces: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        per_region: dict[int, tuple[list[int], list[int]]] = {}
+        for k in range(n):
+            offset = int(offsets[k])
+            length = int(lengths[k])
+            if offset < 0 or length < 0:
+                raise LayoutError("offset and length must be non-negative")
+            cursor = offset
+            end = offset + length
+            while cursor < end:
+                idx, region = self.region_at(cursor)
+                region_end = end if idx == last else min(region.end, end)
+                batch = per_region.setdefault(idx, ([], []))
+                pieces[k].append((idx, len(batch[0])))
+                batch[0].append(cursor - region.start)
+                batch[1].append(region_end - cursor)
+                cursor = region_end
+        runs_by_region: dict[int, MergedRuns] = {}
+        n_fragments = 0
+        for idx, (local_offsets, local_lengths) in per_region.items():
+            runs = merged_runs_of(
+                self._regions[idx].layout, local_offsets, local_lengths
+            )
+            runs_by_region[idx] = runs
+            n_fragments += runs.n_fragments
+        servers: list[int] = []
+        objs: list[str] = []
+        offs: list[int] = []
+        lens: list[int] = []
+        firsts: list[int] = []
+        starts: list[int] = [0]
+        for k in range(n):
+            for idx, j in pieces[k]:
+                runs = runs_by_region[idx]
+                lo, hi = runs.starts[j], runs.starts[j + 1]
+                base = self._regions[idx].start
+                servers.extend(runs.servers[lo:hi])
+                objs.extend(runs.objs[lo:hi])
+                offs.extend(runs.offsets[lo:hi])
+                lens.extend(runs.lengths[lo:hi])
+                if base:
+                    firsts.extend(x + base for x in runs.first_logicals[lo:hi])
+                else:
+                    firsts.extend(runs.first_logicals[lo:hi])
+            starts.append(len(servers))
+        return MergedRuns(
+            servers=servers,
+            objs=objs,
+            offsets=offs,
+            lengths=lens,
+            first_logicals=firsts,
+            starts=starts,
+            n_fragments=n_fragments,
+        )
 
     def __repr__(self) -> str:
         return f"RegionLayout({len(self._regions)} regions, obj={self.obj!r})"

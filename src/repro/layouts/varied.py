@@ -16,8 +16,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..exceptions import LayoutError
 from .base import Layout, SubRequest
+from .batch import MergedRuns, periodic_merged_runs
 
 __all__ = ["VariedStripeLayout"]
 
@@ -120,6 +123,32 @@ class VariedStripeLayout(Layout):
             )
             cursor += take
         return fragments
+
+    def merged_extent_runs(
+        self, offsets: Sequence[int], lengths: Sequence[int]
+    ) -> MergedRuns:
+        starts: list[int] = []
+        widths: list[int] = []
+        servers: list[int] = []
+        if self.h > 0:
+            for slot, server in enumerate(self._hservers):
+                starts.append(slot * self.h)
+                widths.append(self.h)
+                servers.append(server)
+        if self.s > 0:
+            for slot, server in enumerate(self._sservers):
+                starts.append(self._hspan + slot * self.s)
+                widths.append(self.s)
+                servers.append(server)
+        return periodic_merged_runs(
+            offsets,
+            lengths,
+            window_starts=np.asarray(starts, dtype=np.int64),
+            window_widths=np.asarray(widths, dtype=np.int64),
+            window_servers=np.asarray(servers, dtype=np.int64),
+            cycle=self._cycle,
+            obj=self.obj,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,221 @@
+"""The flat replay kernel: event-free trace replay over FIFO servers.
+
+Every data server is a single FIFO channel, so a sub-request's finish
+time is pure queue-tail arithmetic (``start = max(now, not_before,
+tail)``) the moment it is submitted — no event heap, no generator
+processes, no ``Completion``/``AllOf`` allocation per request.  The
+kernel keeps one cursor per rank and drives a merge loop keyed by each
+in-flight request's finish time; requests themselves are pre-mapped in
+one batched pass through the view (:func:`mapped_runs`).
+
+**Bit-identity with the event engine.**  The kernel calls the *same*
+bound methods (``Device.startup_time`` / ``transfer_time``,
+``Link.transfer_time``) in the same per-fragment order, and combines
+them with the same ``max``/``+`` arithmetic, so every float it produces
+equals the event engine's bit for bit.  Ordering decisions mirror the
+event engine exactly:
+
+* ranks issue their first records synchronously in sorted-rank order
+  (event mode: ``spawn`` order);
+* a request's completion is its *critical* fragment — the last
+  submitted among those with the maximal finish time (event mode: the
+  last child event popped fires the ``AllOf``), so the ready heap keyed
+  by ``(finish, fragment_seq)`` pops in the event heap's order.  The
+  fragment counter skips the seq numbers the event engine burns on NIC
+  completions, which sit *between* consecutive fragments' seqs and
+  therefore never change relative order;
+* on completion: barrier bookkeeping first (resuming barrier-blocked
+  ranks in blocking order, as ``Waitable.fire`` does), then the latency
+  append, then the rank's next issue — the exact statement order of the
+  event-mode rank generator.
+
+The simulator clock is advanced once at the end via
+:meth:`~repro.simulate.engine.Simulator.advance_to`, so sequential
+replays sharing a :class:`~repro.pfs.system.HybridPFS` observe the same
+clock either way.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Sequence
+
+from ..exceptions import SimulationError
+from ..layouts.batch import MergedRuns, RunsBuilder
+from ..tracing.record import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .replay import FileView
+    from .system import HybridPFS
+
+__all__ = ["mapped_runs", "replay_flat"]
+
+
+def mapped_runs(view: "FileView", records: Sequence[TraceRecord]) -> MergedRuns:
+    """Map all records through ``view`` into columnar merged runs.
+
+    Views exposing a ``merged_runs(file, offsets, lengths)`` batch API
+    (:class:`~repro.schemes.base.LayoutView`, the MHA
+    :class:`~repro.core.redirector.Redirector`) get one batched call
+    per file; anything else falls back to per-record ``map_request``.
+    Either way run ``k`` of the result equals what the event path's
+    ``merge_fragments(view.map_request(...))`` produces for record
+    ``k``.
+    """
+    batch = getattr(view, "merged_runs", None)
+    if batch is None:
+        builder = RunsBuilder(len(records))
+        for i, record in enumerate(records):
+            builder.place_fragments(
+                i, view.map_request(record.file, record.offset, record.size)
+            )
+        return builder.build()
+    by_file: dict[str, tuple[list[int], list[int], list[int]]] = {}
+    for i, record in enumerate(records):
+        group = by_file.get(record.file)
+        if group is None:
+            group = ([], [], [])
+            by_file[record.file] = group
+        group[0].append(i)
+        group[1].append(record.offset)
+        group[2].append(record.size)
+    if len(by_file) == 1:
+        # single-file trace: the batch result is already record-ordered
+        (_, offsets, lengths), = by_file.values()
+        file = next(iter(by_file))
+        runs: MergedRuns = batch(file, offsets, lengths)
+        return runs
+    builder = RunsBuilder(len(records))
+    for file, (items, offsets, lengths) in by_file.items():
+        runs = batch(file, offsets, lengths)
+        builder.add_fragments(runs.n_fragments)
+        for k, item in enumerate(items):
+            builder.place(item, runs, k)
+    return builder.build()
+
+
+def replay_flat(
+    pfs: "HybridPFS",
+    view: "FileView",
+    ordered: Sequence[TraceRecord],
+    *,
+    keep_latencies: bool = False,
+    phase_of: Sequence[int] | None = None,
+    phase_sizes: Sequence[int] | None = None,
+) -> tuple[float, list[float]]:
+    """Replay time-ordered ``ordered`` records without the event heap.
+
+    ``phase_of``/``phase_sizes`` carry the barrier structure computed by
+    :func:`repro.pfs.replay._phase_index` (both ``None`` when barriers
+    are off).  Returns ``(foreground_end, latencies)``; server/resource
+    statistics accumulate on ``pfs`` exactly as in event mode, and the
+    simulator clock ends at the last completion time.
+    """
+    sim = pfs.sim
+    start = sim.now
+    runs = mapped_runs(view, ordered)
+    by_rank: dict[int, list[int]] = {}
+    for i, record in enumerate(ordered):
+        by_rank.setdefault(record.rank, []).append(i)
+    ranks = sorted(by_rank)
+    rows = [by_rank[rank] for rank in ranks]
+    n_ranks = len(rows)
+    cursor = [0] * n_ranks
+    issued_at = [start] * n_ranks
+    submit = [srv.submit_flat for srv in pfs.servers]
+    client_links = pfs.client_links
+    nodes = (
+        [client_links[rank % len(client_links)] for rank in ranks]
+        if client_links is not None
+        else None
+    )
+    link_time = pfs.spec.link.transfer_time
+    srv_col = runs.servers
+    obj_col = runs.objs
+    off_col = runs.offsets
+    len_col = runs.lengths
+    starts_col = runs.starts
+    ops = [record.op for record in ordered]
+    use_barrier = phase_of is not None
+    phases: list[int] = list(phase_of) if phase_of is not None else []
+    remaining: list[int] = list(phase_sizes) if phase_sizes is not None else []
+    fired = [False] * len(remaining)
+    waiters: list[list[int]] = [[] for _ in remaining]
+    frontier = 0
+    foreground_end = start
+    max_finish = start
+    seq = 0
+    latencies: list[float] = []
+    # in-flight requests: (critical finish, critical fragment seq, rank
+    # position, barrier phase or -1) — pops in the event heap's order
+    heap: list[tuple[float, int, int, int]] = []
+
+    def issue_from(rp: int, now: float) -> None:
+        nonlocal foreground_end, max_finish, seq
+        row = rows[rp]
+        c = cursor[rp]
+        if c == len(row):
+            if now > foreground_end:
+                foreground_end = now
+            return
+        i = row[c]
+        phase = -1
+        if use_barrier:
+            phase = phases[i]
+            if phase > 0 and not fired[phase - 1]:
+                waiters[phase - 1].append(rp)
+                return
+        cursor[rp] = c + 1
+        issued_at[rp] = now
+        lo = starts_col[i]
+        hi = starts_col[i + 1]
+        if lo == hi:  # pragma: no cover - size > 0 always maps to a run
+            if phase >= 0:
+                record_complete(phase, now)
+            if keep_latencies:
+                latencies.append(0.0)
+            issue_from(rp, now)
+            return
+        not_before = 0.0
+        if nodes is not None:
+            total = 0
+            for j in range(lo, hi):
+                total += len_col[j]
+            not_before = nodes[rp].schedule_flat(now, link_time(total))
+        op = ops[i]
+        best = -1.0
+        best_seq = -1
+        for j in range(lo, hi):
+            finish = submit[srv_col[j]](
+                op, obj_col[j], off_col[j], len_col[j], now, not_before=not_before
+            )
+            if finish >= best:
+                best = finish
+                best_seq = seq
+            seq += 1
+        if best > max_finish:
+            max_finish = best
+        heappush(heap, (best, best_seq, rp, phase))
+
+    def record_complete(phase: int, now: float) -> None:
+        nonlocal frontier
+        remaining[phase] -= 1
+        while frontier < len(remaining) and remaining[frontier] == 0:
+            if fired[frontier]:  # pragma: no cover - mirrors Waitable's guard
+                raise SimulationError("barrier phase fired twice")
+            fired[frontier] = True
+            for rp in waiters[frontier]:
+                issue_from(rp, now)
+            frontier += 1
+
+    for rp in range(n_ranks):
+        issue_from(rp, start)
+    while heap:
+        now, _, rp, phase = heappop(heap)
+        if phase >= 0:
+            record_complete(phase, now)
+        if keep_latencies:
+            latencies.append(now - issued_at[rp])
+        issue_from(rp, now)
+    sim.advance_to(max_finish)
+    return foreground_end, latencies

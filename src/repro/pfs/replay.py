@@ -8,18 +8,31 @@ run concurrently.  The replay engine reproduces exactly that, mapping
 each request through a *file view* — any object with
 ``map_request(file, offset, length) -> list[SubRequest]``, i.e. a
 static layout table (DEF/AAL/HARL) or the MHA redirector.
+
+Two engines produce the same replay:
+
+* ``"flat"`` (the default, :mod:`repro.pfs.flat`) — an event-free merge
+  loop over per-rank cursors that computes every completion time as
+  queue-tail arithmetic.  Bit-identical metrics, ~an order of magnitude
+  faster;
+* ``"event"`` — one generator process per rank on the discrete-event
+  engine.  Required (and selected automatically) whenever a replay
+  needs per-record hooks (``on_record``/``collector``), servers with
+  multi-channel queues, or a simulator with events already in flight.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, runtime_checkable
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from ..cluster import ClusterSpec
+from ..config import DEFAULT_REPLAY_ENGINE
 from ..layouts.base import SubRequest
 from ..simulate import Waitable
 from ..tracing.collector import IOCollector
 from ..tracing.record import Trace, TraceRecord
+from .flat import replay_flat
 from .system import HybridPFS
 
 __all__ = ["FileView", "RunMetrics", "replay_trace", "run_workload"]
@@ -46,6 +59,12 @@ class RunMetrics:
     read_bytes: int
     write_bytes: int
     latencies: list[float] = field(default_factory=list)
+    # cached ascending view of ``latencies`` for percentile queries;
+    # rebuilt when the list length changes, droppable explicitly via
+    # :meth:`invalidate_latency_cache` after in-place mutation
+    _sorted_latencies: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def bandwidth(self) -> float:
@@ -60,17 +79,31 @@ class RunMetrics:
             return 0.0
         return sum(self.latencies) / len(self.latencies)
 
+    def invalidate_latency_cache(self) -> None:
+        """Drop the sorted-latency cache (call after mutating
+        ``latencies`` in place without changing its length)."""
+        self._sorted_latencies = None
+
+    def _sorted_view(self) -> list[float]:
+        cached = self._sorted_latencies
+        if cached is None or len(cached) != len(self.latencies):
+            cached = sorted(self.latencies)
+            self._sorted_latencies = cached
+        return cached
+
     def latency_percentile(self, q: float) -> float:
         """Request-latency percentile (``q`` in [0, 100]).
 
         Requires the replay to have been run with
-        ``keep_latencies=True``; returns 0.0 otherwise.
+        ``keep_latencies=True``; returns 0.0 otherwise.  The sorted
+        view is cached, so repeated percentile queries (p50/p99 per
+        figure row) cost one sort total.
         """
         if not 0 <= q <= 100:
             raise ValueError(f"q must be in [0, 100], got {q}")
         if not self.latencies:
             return 0.0
-        ordered = sorted(self.latencies)
+        ordered = self._sorted_view()
         rank = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
         return ordered[rank]
 
@@ -96,6 +129,95 @@ class RunMetrics:
         return max(active) / min(active)
 
 
+def _phase_index(
+    ordered: Sequence[TraceRecord], barrier_gap: float
+) -> tuple[list[int], list[int]]:
+    """Bucket time-ordered records into barrier phases, by *index*.
+
+    A new phase opens wherever consecutive timestamps jump by more than
+    ``barrier_gap``.  Keying by position (not by record value) keeps
+    duplicated records — identical rank/offset/size/timestamp entries,
+    legal in a trace — in their own phase slots.  Returns
+    ``(phase_of, phase_sizes)`` with ``phase_of[i]`` the phase of
+    ``ordered[i]``.
+    """
+    phase_of: list[int] = []
+    sizes: list[int] = []
+    prev_t: float | None = None
+    for record in ordered:
+        if prev_t is None or record.timestamp - prev_t > barrier_gap:
+            sizes.append(0)
+        prev_t = record.timestamp
+        phase_of.append(len(sizes) - 1)
+        sizes[-1] += 1
+    return phase_of, sizes
+
+
+def _replay_event(
+    pfs: HybridPFS,
+    view: FileView,
+    ordered: Sequence[TraceRecord],
+    *,
+    keep_latencies: bool,
+    collector: IOCollector | None,
+    on_record: Callable[[TraceRecord], None] | None,
+    phase_of: list[int] | None,
+    phase_sizes: list[int] | None,
+) -> tuple[float, list[float]]:
+    """The generator-process replay path (one process per rank)."""
+    sim = pfs.sim
+    start_time = sim.now
+    latencies: list[float] = []
+    by_rank: dict[int, list[int]] = {}
+    for i, record in enumerate(ordered):
+        by_rank.setdefault(record.rank, []).append(i)
+    foreground_end = [start_time]
+
+    use_barrier = phase_of is not None
+    remaining: list[int] = list(phase_sizes) if phase_sizes is not None else []
+    phases: list[int] = phase_of if phase_of is not None else []
+    phase_done: list[Waitable] = [Waitable() for _ in remaining]
+    frontier = [0]  # first phase not yet known complete
+
+    def record_complete(phase: int) -> None:
+        remaining[phase] -= 1
+        while frontier[0] < len(remaining) and remaining[frontier[0]] == 0:
+            phase_done[frontier[0]].fire()
+            frontier[0] += 1
+
+    def rank_process(indices: list[int]):
+        for i in indices:
+            record = ordered[i]
+            if use_barrier:
+                p = phases[i]
+                if p > 0 and not phase_done[p - 1].fired:
+                    yield phase_done[p - 1]
+            issued = sim.now
+            if on_record is not None:
+                on_record(record)
+            if collector is not None:
+                collector.record(
+                    rank=record.rank,
+                    op=record.op,
+                    offset=record.offset,
+                    size=record.size,
+                    file=record.file,
+                    timestamp=issued,
+                )
+            fragments = view.map_request(record.file, record.offset, record.size)
+            yield pfs.issue(record.op, fragments, rank=record.rank)
+            if use_barrier:
+                record_complete(phases[i])
+            if keep_latencies:
+                latencies.append(sim.now - issued)
+        foreground_end[0] = max(foreground_end[0], sim.now)
+
+    for rank in sorted(by_rank):
+        sim.spawn(rank_process(by_rank[rank]), name=f"rank{rank}")
+    sim.run()
+    return foreground_end[0], latencies
+
+
 def replay_trace(
     pfs: HybridPFS,
     view: FileView,
@@ -105,6 +227,7 @@ def replay_trace(
     collector: IOCollector | None = None,
     on_record: Callable[[TraceRecord], None] | None = None,
     barrier_gap: float | None = None,
+    engine: str | None = None,
 ) -> RunMetrics:
     """Replay ``trace`` against ``pfs`` through ``view``.
 
@@ -128,74 +251,59 @@ def replay_trace(
     structure of the workload generators), and no rank may issue a
     phase-``p`` record before every record of earlier phases has
     completed.  ``None`` (the default) keeps ranks fully independent.
+
+    ``engine`` picks ``"flat"`` or ``"event"``
+    (:data:`~repro.config.DEFAULT_REPLAY_ENGINE` when ``None``).  The
+    flat kernel requires a pure replay — it is skipped, falling back to
+    the event engine, when an ``on_record``/``collector`` hook is set,
+    when the simulator already has pending events (e.g. background
+    migrations in flight), or when any server queue has more than one
+    channel.
     """
+    if engine is None:
+        engine = DEFAULT_REPLAY_ENGINE
+    if engine not in ("flat", "event"):
+        raise ValueError(f"unknown replay engine {engine!r}")
     pfs.reset_stats()
     sim = pfs.sim
     start_time = sim.now
-    latencies: list[float] = []
-    by_rank: dict[int, list] = {}
     ordered = trace.sorted_by_time()
-    for record in ordered:
-        by_rank.setdefault(record.rank, []).append(record)
-    foreground_end = [start_time]
-
-    phase_of: dict[TraceRecord, int] = {}
-    remaining: list[int] = []
-    phase_done: list[Waitable] = []
+    phase_of: list[int] | None = None
+    phase_sizes: list[int] | None = None
     if barrier_gap is not None:
-        prev_t: float | None = None
-        for record in ordered:
-            if prev_t is not None and record.timestamp - prev_t > barrier_gap:
-                remaining.append(0)
-            if not remaining:
-                remaining.append(0)
-            prev_t = record.timestamp
-            phase_of[record] = len(remaining) - 1
-            remaining[-1] += 1
-        phase_done = [Waitable() for _ in remaining]
-
-    frontier = [0]  # first phase not yet known complete
-
-    def record_complete(phase: int) -> None:
-        remaining[phase] -= 1
-        while frontier[0] < len(remaining) and remaining[frontier[0]] == 0:
-            phase_done[frontier[0]].fire()
-            frontier[0] += 1
-
-    def rank_process(records):
-        for record in records:
-            if barrier_gap is not None:
-                p = phase_of[record]
-                if p > 0 and not phase_done[p - 1].fired:
-                    yield phase_done[p - 1]
-            issued = sim.now
-            if on_record is not None:
-                on_record(record)
-            if collector is not None:
-                collector.record(
-                    rank=record.rank,
-                    op=record.op,
-                    offset=record.offset,
-                    size=record.size,
-                    file=record.file,
-                    timestamp=issued,
-                )
-            fragments = view.map_request(record.file, record.offset, record.size)
-            yield pfs.issue(record.op, fragments, rank=record.rank)
-            if barrier_gap is not None:
-                record_complete(phase_of[record])
-            if keep_latencies:
-                latencies.append(sim.now - issued)
-        foreground_end[0] = max(foreground_end[0], sim.now)
-
-    for rank in sorted(by_rank):
-        sim.spawn(rank_process(by_rank[rank]), name=f"rank{rank}")
-    sim.run()
+        phase_of, phase_sizes = _phase_index(ordered, barrier_gap)
+    use_flat = (
+        engine == "flat"
+        and on_record is None
+        and collector is None
+        and sim.pending() == 0
+        and all(srv.channel.capacity == 1 for srv in pfs.servers)
+    )
+    if use_flat:
+        foreground_end, latencies = replay_flat(
+            pfs,
+            view,
+            ordered,
+            keep_latencies=keep_latencies,
+            phase_of=phase_of,
+            phase_sizes=phase_sizes,
+        )
+    else:
+        foreground_end, latencies = _replay_event(
+            pfs,
+            view,
+            ordered,
+            keep_latencies=keep_latencies,
+            collector=collector,
+            on_record=on_record,
+            phase_of=phase_of,
+            phase_sizes=phase_sizes,
+        )
 
     read_bytes = sum(r.size for r in trace if r.op == "read")
     write_bytes = sum(r.size for r in trace if r.op == "write")
     return RunMetrics(
-        makespan=foreground_end[0] - start_time,
+        makespan=foreground_end - start_time,
         total_bytes=trace.total_bytes(),
         requests=len(trace),
         per_server_busy=pfs.per_server_busy(),
@@ -212,7 +320,8 @@ def run_workload(
     trace: Trace,
     *,
     keep_latencies: bool = False,
+    engine: str | None = None,
 ) -> RunMetrics:
     """Convenience: fresh simulator + PFS, one replay, return metrics."""
     pfs = HybridPFS(spec)
-    return replay_trace(pfs, view, trace, keep_latencies=keep_latencies)
+    return replay_trace(pfs, view, trace, keep_latencies=keep_latencies, engine=engine)

@@ -135,6 +135,57 @@ class DataServer:
         _, done = self.channel.schedule(duration, not_before=not_before, tag=tag)
         return done
 
+    def submit_flat(
+        self,
+        op: OpType,
+        obj: str,
+        offset: int,
+        length: int,
+        now: float,
+        not_before: float = 0.0,
+    ) -> float:
+        """Event-free twin of :meth:`submit` for the flat replay kernel.
+
+        Same sequential-stream update, same duration arithmetic, same
+        statistics — but the finish time is computed synchronously via
+        :meth:`FIFOResource.schedule_flat` (the server is a single FIFO
+        channel, so it is fully determined at submission) instead of
+        scheduling a completion event.  ``now`` is the caller's clock.
+        """
+        if self.slowdown <= 0:
+            raise ValueError(f"slowdown must be > 0, got {self.slowdown}")
+        sequential = self._check_sequential(obj, offset, length)
+        startup = self.device.startup_time(op, sequential) / self.device.channels
+        duration = self.slowdown * (
+            startup
+            + self.device.transfer_time(op, length)
+            + self.link.transfer_time(length)
+        )
+        stats = self.stats
+        if sequential:
+            stats.sequential_hits += 1
+        else:
+            stats.seeks += 1
+        stats.sub_requests += 1
+        if op == "read":
+            stats.bytes_read += length
+        else:
+            stats.bytes_written += length
+        channel = self.channel
+        if channel.capacity == 1 and not channel.keep_records:
+            # single-channel fast path: same arithmetic as schedule_flat,
+            # minus the call, channel scan, and tag allocation
+            tails = channel._tails
+            start = max(now, not_before, tails[0])
+            finish = start + duration
+            tails[0] = finish
+            channel.busy_time += duration
+            channel.served += 1
+            return finish
+        return channel.schedule_flat(
+            now, duration, not_before=not_before, tag=(op, obj, offset, length)
+        )
+
     @property
     def busy_time(self) -> float:
         """Seconds of service performed — the server's I/O time."""

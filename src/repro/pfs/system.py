@@ -10,50 +10,18 @@ the defining latency semantics of striped parallel I/O.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..cluster import ClusterSpec
 from ..devices.base import OpType
 from ..exceptions import SimulationError
 from ..layouts.base import SubRequest
+from ..layouts.batch import merge_fragments
 from ..simulate import Completion, FIFOResource, Simulator
 from .mds import MetaDataServer
 from .server import DataServer
 
 __all__ = ["HybridPFS", "merge_fragments"]
-
-
-def merge_fragments(fragments: Iterable[SubRequest]) -> list[SubRequest]:
-    """Coalesce fragments that are contiguous on the same server object.
-
-    A PFS client sends *one* sub-request per server covering all the
-    stripes it needs there (list I/O); under round-robin striping those
-    stripes are contiguous in the server object even though they
-    interleave logically, so the merged run is what the server's disk
-    actually sees.  Merging is order-preserving per server and requires
-    contiguity in the *server object's* address space; the merged run
-    keeps the logical offset of its first stripe.
-    """
-    merged: dict[tuple[int, str], list[SubRequest]] = {}
-    for frag in fragments:
-        key = (frag.server, frag.obj)
-        runs = merged.setdefault(key, [])
-        if runs and runs[-1].offset + runs[-1].length == frag.offset:
-            last = runs[-1]
-            runs[-1] = SubRequest(
-                server=last.server,
-                obj=last.obj,
-                offset=last.offset,
-                length=last.length + frag.length,
-                logical_offset=last.logical_offset,
-            )
-        else:
-            runs.append(frag)
-    out: list[SubRequest] = []
-    for runs in merged.values():
-        out.extend(runs)
-    out.sort(key=lambda f: f.logical_offset)
-    return out
 
 
 class HybridPFS:
@@ -119,6 +87,43 @@ class HybridPFS:
             for f in merged
         ]
         return self.sim.all_of(completions)
+
+    def issue_flat(
+        self,
+        op: OpType,
+        fragments: Sequence[SubRequest],
+        rank: int | None = None,
+        now: float | None = None,
+    ) -> float:
+        """Event-free :meth:`issue`: the request's finish time, directly.
+
+        With one FIFO channel per server a sub-request's finish time is
+        pure queue-tail arithmetic, so no completion/event machinery is
+        needed — the same merged runs are scheduled through
+        ``submit_flat``/``schedule_flat`` and the slowest finish time is
+        returned.  ``now`` is the issue time (defaults to the sim
+        clock); an empty request completes immediately at ``now``.
+        """
+        if now is None:
+            now = self.sim.now
+        merged = merge_fragments(fragments)
+        if not merged:
+            return now
+        not_before = 0.0
+        if self.client_links is not None and rank is not None:
+            node = self.client_links[rank % len(self.client_links)]
+            total = sum(f.length for f in merged)
+            not_before = node.schedule_flat(
+                now, self.spec.link.transfer_time(total)
+            )
+        finish = now
+        for f in merged:
+            done = self.server(f.server).submit_flat(
+                op, f.obj, f.offset, f.length, now, not_before=not_before
+            )
+            if done > finish:
+                finish = done
+        return finish
 
     # -- statistics ------------------------------------------------------
 

@@ -9,10 +9,12 @@ through (see :class:`repro.pfs.replay.FileView`).
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
 from ..cluster import ClusterSpec
 from ..exceptions import LayoutError
 from ..layouts.base import Layout, SubRequest
+from ..layouts.batch import MergedRuns, merged_runs_of
 from ..tracing.record import Trace
 
 __all__ = ["LayoutView", "Scheme"]
@@ -34,6 +36,19 @@ class LayoutView:
     def map_request(self, file: str, offset: int, length: int) -> list[SubRequest]:
         """Resolve a request through the file's static layout."""
         return self.layout_for(file).map_extent(offset, length)
+
+    def map_requests(
+        self, file: str, offsets: Sequence[int], lengths: Sequence[int]
+    ) -> list[list[SubRequest]]:
+        """Batch :meth:`map_request` for one file (vectorized where the
+        layout provides a batch kernel)."""
+        return self.layout_for(file).map_extents(offsets, lengths)
+
+    def merged_runs(
+        self, file: str, offsets: Sequence[int], lengths: Sequence[int]
+    ) -> MergedRuns:
+        """Columnar merged runs for a batch of requests against one file."""
+        return merged_runs_of(self.layout_for(file), offsets, lengths)
 
     def files(self) -> tuple[str, ...]:
         return tuple(self._layouts)

@@ -27,7 +27,7 @@ from ..exceptions import SimulationError
 __all__ = ["Event", "Completion", "Waitable", "Simulator", "Process"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.  Ordered by ``(time, seq)`` for determinism."""
 
@@ -35,10 +35,16 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # back-reference so cancel() can keep the owning simulator's live
+    # event count exact without an O(heap) scan
+    owner: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent the callback from running when the event is popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._event_cancelled()
 
 
 class Waitable:
@@ -132,6 +138,13 @@ class Process:
         self._gen = gen
         self.name = name
         self.done = Completion()
+        # bind the resume callbacks once; a per-resume lambda/bound-method
+        # allocation on every yield is pure overhead
+        self._on_fire = self._step
+        self._on_delay = self._resume_from_delay
+        self._step(None)
+
+    def _resume_from_delay(self) -> None:
         self._step(None)
 
     def _step(self, send_value: Any) -> None:
@@ -141,13 +154,13 @@ class Process:
             self.done.fire(stop.value)
             return
         if isinstance(yielded, Waitable):
-            yielded.add_waiter(self._step)
+            yielded.add_waiter(self._on_fire)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded a negative delay: {yielded}"
                 )
-            self._sim.schedule(float(yielded), lambda: self._step(None))
+            self._sim.schedule(float(yielded), self._on_delay)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded {yielded!r}; expected a "
@@ -163,6 +176,7 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self._pending = 0  # live (scheduled, not cancelled, not run) events
 
     @property
     def now(self) -> float:
@@ -179,9 +193,13 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past ({time} < {self._now})"
             )
-        event = Event(time, next(self._seq), callback)
+        event = Event(time, next(self._seq), callback, owner=self)
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
+
+    def _event_cancelled(self) -> None:
+        self._pending -= 1
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Start a generator process; returns its :class:`Process` handle."""
@@ -208,6 +226,7 @@ class Simulator:
                 heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
+                self._pending -= 1
                 self._now = event.time
                 event.callback()
             else:
@@ -217,6 +236,25 @@ class Simulator:
             self._running = False
         return self._now
 
+    def advance_to(self, time: float) -> float:
+        """Move the clock to ``time`` without processing any events.
+
+        Used by the flat replay kernel (:mod:`repro.pfs.flat`), which
+        computes every completion time arithmetically and only needs
+        the clock placed at the end of the replay.  Refuses to move
+        backwards or to skip over scheduled work.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot advance to the past ({time} < {self._now})"
+            )
+        if self._pending:
+            raise SimulationError(
+                f"advance_to({time}) would skip {self._pending} pending event(s)"
+            )
+        self._now = time
+        return self._now
+
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._pending

@@ -98,6 +98,38 @@ class FIFOResource:
         self._sim.schedule_at(finish, lambda: done.fire(record))
         return record, done
 
+    def schedule_flat(
+        self, now: float, duration: float, not_before: float = 0.0, tag: object = None
+    ) -> float:
+        """Queue-tail arithmetic twin of :meth:`schedule`.
+
+        Identical bookkeeping (tails, busy time, served count, optional
+        service records) and identical start/finish arithmetic, but no
+        :class:`Completion` and no heap event: the finish time is
+        returned directly.  ``now`` is the caller-maintained clock —
+        the flat replay kernel (:mod:`repro.pfs.flat`) advances time
+        itself and only moves the simulator clock at the end.
+        """
+        if duration < 0:
+            raise ValueError(f"service duration must be >= 0, got {duration}")
+        tails = self._tails
+        if self.capacity == 1:
+            channel = 0
+        else:
+            channel = min(range(self.capacity), key=tails.__getitem__)
+        start = max(now, not_before, tails[channel])
+        finish = start + duration
+        tails[channel] = finish
+        self.busy_time += duration
+        self.served += 1
+        if self.keep_records:
+            self.records.append(
+                ServiceRecord(
+                    arrival=now, start=start, finish=finish, duration=duration, tag=tag
+                )
+            )
+        return finish
+
     def submit(self, duration: float, tag: object = None) -> Completion:
         """Enqueue a work item; returns a completion for its finish."""
         _, done = self.schedule(duration, tag=tag)

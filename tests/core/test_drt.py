@@ -99,6 +99,89 @@ class TestTranslate:
         assert ENTRY_NUMERIC_BYTES / 4096 == pytest.approx(0.006, abs=3e-4)
 
 
+class TestHotEntryCache:
+    def make(self):
+        drt = DRT()
+        drt.add(entry(0, 100, 1000, r_file="rA"))
+        drt.add(entry(200, 100, 0, r_file="rB"))
+        return drt
+
+    def test_repeated_hits_count(self):
+        drt = self.make()
+        first = drt.translate("f", 10, 50)
+        assert drt.cache_misses == 1 and drt.cache_hits == 0
+        again = drt.translate("f", 20, 30)  # same hot entry covers it
+        assert drt.cache_hits == 1 and drt.cache_misses == 1
+        assert first[0].file == again[0].file == "rA"
+        assert drt.cache_hit_rate == 0.5
+
+    def test_miss_on_other_entry_then_hit(self):
+        drt = self.make()
+        drt.translate("f", 10, 10)
+        drt.translate("f", 210, 10)  # different entry: miss, re-prime
+        drt.translate("f", 220, 10)  # now hot: hit
+        assert (drt.cache_hits, drt.cache_misses) == (1, 2)
+
+    def test_walk_results_unchanged_by_cache(self):
+        """Cached and cold translations must be byte-identical."""
+        warm = self.make()
+        probes = [(10, 50), (20, 30), (50, 200), (210, 10), (0, 300), (10, 50)]
+        for offset, length in probes:
+            cold = self.make()  # fresh table: probe always misses
+            assert warm.translate("f", offset, length) == cold.translate(
+                "f", offset, length
+            )
+        assert warm.cache_hits > 0
+
+    def test_lru_list_serves_revisited_entries(self):
+        """An entry served earlier stays on the LRU list: a later
+        lookup starting exactly at it hits even after the hot slot
+        moved to another entry."""
+        drt = self.make()
+        drt.translate("f", 10, 10)  # serves rA, hot = rA
+        drt.translate("f", 210, 10)  # serves rB, hot = rB
+        out = drt.translate("f", 0, 50)  # exact start of rA: LRU hit
+        assert out[0].file == "rA"
+        assert (drt.cache_hits, drt.cache_misses) == (1, 2)
+        # and the hit re-primed the hot slot back to rA
+        drt.translate("f", 50, 10)
+        assert drt.cache_hits == 2
+
+    def test_zero_length_does_not_touch_counters(self):
+        drt = self.make()
+        assert drt.translate("f", 0, 0) == []
+        assert (drt.cache_hits, drt.cache_misses) == (0, 0)
+
+    def test_entry_at_uses_cache(self):
+        drt = self.make()
+        assert drt.entry_at("f", 50).r_file == "rA"
+        assert drt.entry_at("f", 60).r_file == "rA"
+        assert (drt.cache_hits, drt.cache_misses) == (1, 1)
+
+    def test_hit_rate_empty(self):
+        assert DRT().cache_hit_rate == 0.0
+
+    def test_translate_many_matches_sequential(self):
+        batched, scalar = self.make(), self.make()
+        offsets = [10, 20, 50, 210, 0, 10, 150]
+        lengths = [50, 30, 200, 10, 300, 50, 20]
+        got = batched.translate_many("f", offsets, lengths)
+        want = [scalar.translate("f", o, l) for o, l in zip(offsets, lengths)]
+        assert got == want
+        # the per-record probe keeps counter parity with the scalar path
+        assert (batched.cache_hits, batched.cache_misses) == (
+            scalar.cache_hits,
+            scalar.cache_misses,
+        )
+
+    def test_translate_many_unknown_file(self):
+        drt = self.make()
+        out = drt.translate_many("other", [0, 5], [10, 0])
+        assert len(out) == 2
+        assert not out[0][0].mapped
+        assert out[1] == []
+
+
 class TestPersistence:
     def test_reload(self, tmp_path):
         path = tmp_path / "drt.db"

@@ -1,0 +1,303 @@
+"""Flat replay kernel: bit-identity with the event engine + fallbacks.
+
+The flat kernel (:mod:`repro.pfs.flat`) is the default replay engine
+and must be *float-bit-identical* to the event engine on everything a
+replay measures — so every equality here is exact, never approximate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.pfs.replay as replay_mod
+from repro.cluster import ClusterSpec
+from repro.layouts import FixedStripeLayout
+from repro.pfs import HybridPFS, replay_trace, run_workload
+from repro.schemes import build_view, scheme_names
+from repro.schemes.base import LayoutView
+from repro.tracing import Trace, TraceRecord
+from repro.units import KiB, MiB
+from repro.workloads import IORWorkload
+from repro.workloads.base import PHASE_GAP
+
+
+def rec(offset, size, ts, rank=0, op="write", file="f"):
+    return TraceRecord(offset=offset, timestamp=ts, rank=rank, size=size, op=op, file=file)
+
+
+def simple_view(spec, stripe=64 * KiB):
+    return LayoutView({}, default=FixedStripeLayout(spec.server_ids, stripe, obj="f"))
+
+
+def run_both(spec, view_of, trace, **kwargs):
+    """Replay the same trace through both engines on fresh PFS twins."""
+    results = []
+    for engine in ("event", "flat"):
+        pfs = HybridPFS(spec)
+        metrics = replay_trace(pfs, view_of(), trace, engine=engine, **kwargs)
+        results.append((metrics, pfs))
+    return results
+
+
+def assert_identical(event, flat):
+    """Exact equality on every replayed observable."""
+    (em, epfs), (fm, fpfs) = event, flat
+    assert fm.makespan == em.makespan
+    assert fm.latencies == em.latencies
+    assert fm.per_server_busy == em.per_server_busy
+    assert fm.per_server_bytes == em.per_server_bytes
+    assert fm.total_bytes == em.total_bytes
+    assert fm.requests == em.requests
+    for fsrv, esrv in zip(fpfs.servers, epfs.servers):
+        assert fsrv.stats == esrv.stats
+    assert fpfs.sim.now == epfs.sim.now
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("scheme", scheme_names())
+    @pytest.mark.parametrize("nics", [False, True])
+    def test_every_scheme_matches_event_engine(self, scheme, nics):
+        spec = ClusterSpec(model_client_nics=nics)
+        trace = IORWorkload(
+            num_processes=4,
+            request_sizes=[16 * KiB, 64 * KiB],
+            total_size=4 * MiB,
+            seed=3,
+            file="f",
+        ).trace("write")
+        event, flat = run_both(
+            spec,
+            lambda: build_view(scheme, spec, trace),
+            trace,
+            keep_latencies=True,
+        )
+        assert event[0].makespan > 0
+        assert_identical(event, flat)
+
+    @pytest.mark.parametrize("scheme", ["DEF", "MHA"])
+    def test_barrier_gap_matches_event_engine(self, scheme):
+        spec = ClusterSpec(model_client_nics=True)
+        trace = IORWorkload(
+            num_processes=4,
+            request_sizes=[16 * KiB, 64 * KiB],
+            total_size=4 * MiB,
+            seed=5,
+            file="f",
+        ).trace("write")
+        event, flat = run_both(
+            spec,
+            lambda: build_view(scheme, spec, trace),
+            trace,
+            keep_latencies=True,
+            barrier_gap=PHASE_GAP / 2,
+        )
+        assert_identical(event, flat)
+
+    def test_read_op_and_mixed_ranks(self):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        trace = Trace(
+            [rec(i * 48 * KiB, 48 * KiB, float(i % 3), rank=i % 3, op="read") for i in range(12)]
+        )
+        event, flat = run_both(spec, lambda: simple_view(spec), trace, keep_latencies=True)
+        assert_identical(event, flat)
+
+    def test_empty_trace(self):
+        spec = ClusterSpec()
+        metrics = run_workload(spec, simple_view(spec), Trace([]), engine="flat")
+        assert metrics.makespan == 0.0
+
+    def test_duplicated_records_with_barriers(self):
+        """Identical records (same rank/offset/size/timestamp) are legal
+        in a trace; the barrier index is keyed by position, so each copy
+        occupies its own phase slot in both engines."""
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        dup = rec(0, 64 * KiB, 0.0)
+        records = [dup, dup, rec(0, 64 * KiB, 0.0, rank=1)]
+        # second phase duplicates a first-phase record's value too
+        records += [rec(0, 64 * KiB, 20.0), rec(0, 64 * KiB, 20.0, rank=1)]
+        trace = Trace(records)
+        event, flat = run_both(
+            spec, lambda: simple_view(spec), trace, keep_latencies=True, barrier_gap=5.0
+        )
+        assert len(event[0].latencies) == len(records)
+        assert_identical(event, flat)
+
+    def test_phase_index_keys_by_position(self):
+        dup = rec(0, 64 * KiB, 0.0)
+        phase_of, sizes = replay_mod._phase_index([dup, dup, dup], barrier_gap=5.0)
+        assert phase_of == [0, 0, 0]
+        assert sizes == [3]
+        later = rec(0, 64 * KiB, 10.0)
+        phase_of, sizes = replay_mod._phase_index([dup, dup, later, later], 5.0)
+        assert phase_of == [0, 0, 1, 1]
+        assert sizes == [2, 2]
+
+    def test_shared_pfs_sequential_replays_match(self):
+        """Back-to-back replays on one PFS leave the clock where the
+        event engine would, so later replays stay identical too."""
+        spec = ClusterSpec()
+        trace = Trace([rec(i * 64 * KiB, 64 * KiB, float(i)) for i in range(4)])
+        event_pfs, flat_pfs = HybridPFS(spec), HybridPFS(spec)
+        for _ in range(2):
+            em = replay_trace(event_pfs, simple_view(spec), trace, engine="event")
+            fm = replay_trace(flat_pfs, simple_view(spec), trace, engine="flat")
+            assert fm.makespan == em.makespan
+            assert flat_pfs.sim.now == event_pfs.sim.now
+
+
+traces = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=64),  # offset in 16 KiB units
+        st.integers(min_value=1, max_value=12),  # size in 16 KiB units
+        st.integers(min_value=0, max_value=3),  # phase index
+        st.integers(min_value=0, max_value=4),  # rank
+        st.sampled_from(["read", "write"]),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestPropertyEquivalence:
+    @given(raw=traces, nics=st.booleans(), gap=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_flat_equals_event_on_random_traces(self, raw, nics, gap):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2, model_client_nics=nics)
+        trace = Trace(
+            [
+                rec(off * 16 * KiB, size * 16 * KiB, phase * 10.0, rank=rank, op=op)
+                for off, size, phase, rank, op in raw
+            ]
+        )
+        event, flat = run_both(
+            spec,
+            lambda: simple_view(spec, stripe=32 * KiB),
+            trace,
+            keep_latencies=True,
+            barrier_gap=5.0 if gap else None,
+        )
+        assert_identical(event, flat)
+
+
+class TestEngineSelection:
+    def make(self):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        trace = Trace([rec(i * 64 * KiB, 64 * KiB, float(i)) for i in range(3)])
+        return spec, trace
+
+    def test_unknown_engine_rejected(self):
+        spec, trace = self.make()
+        with pytest.raises(ValueError):
+            replay_trace(HybridPFS(spec), simple_view(spec), trace, engine="warp")
+
+    def test_explicit_event_engine_skips_flat(self, monkeypatch):
+        spec, trace = self.make()
+        monkeypatch.setattr(replay_mod, "replay_flat", self.boom)
+        metrics = replay_trace(HybridPFS(spec), simple_view(spec), trace, engine="event")
+        assert metrics.requests == 3
+
+    @staticmethod
+    def boom(*args, **kwargs):
+        raise AssertionError("flat kernel must not be used here")
+
+    def test_on_record_hook_falls_back_to_event(self, monkeypatch):
+        spec, trace = self.make()
+        monkeypatch.setattr(replay_mod, "replay_flat", self.boom)
+        seen = []
+        metrics = replay_trace(
+            HybridPFS(spec), simple_view(spec), trace, engine="flat", on_record=seen.append
+        )
+        assert len(seen) == 3
+        assert metrics.requests == 3
+
+    def test_collector_falls_back_to_event(self, monkeypatch):
+        from repro.tracing import IOCollector
+
+        spec, trace = self.make()
+        monkeypatch.setattr(replay_mod, "replay_flat", self.boom)
+        collector = IOCollector()
+        replay_trace(
+            HybridPFS(spec), simple_view(spec), trace, engine="flat", collector=collector
+        )
+        assert len(collector) == 3
+
+    def test_pending_events_fall_back_to_event(self, monkeypatch):
+        spec, trace = self.make()
+        pfs = HybridPFS(spec)
+
+        def background():
+            yield 1000.0
+
+        pfs.sim.spawn(background(), name="bg")
+        assert pfs.sim.pending() > 0
+        monkeypatch.setattr(replay_mod, "replay_flat", self.boom)
+        metrics = replay_trace(pfs, simple_view(spec), trace, engine="flat")
+        assert metrics.requests == 3
+
+    def test_multichannel_server_falls_back_to_event(self, monkeypatch):
+        from repro.simulate import FIFOResource
+
+        spec, trace = self.make()
+        pfs = HybridPFS(spec)
+        srv = pfs.servers[0]
+        srv.channel = FIFOResource(pfs.sim, name=srv.name, capacity=2)
+        monkeypatch.setattr(replay_mod, "replay_flat", self.boom)
+        metrics = replay_trace(pfs, simple_view(spec), trace, engine="flat")
+        assert metrics.requests == 3
+
+    def test_flat_is_the_default_engine(self, monkeypatch):
+        from repro.config import DEFAULT_REPLAY_ENGINE
+
+        assert DEFAULT_REPLAY_ENGINE == "flat"
+        spec, trace = self.make()
+        called = {}
+        real = replay_mod.replay_flat
+
+        def spy(*args, **kwargs):
+            called["flat"] = True
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(replay_mod, "replay_flat", spy)
+        replay_trace(HybridPFS(spec), simple_view(spec), trace)
+        assert called.get("flat")
+
+
+class TestLatencyPercentileCache:
+    def metrics(self, latencies):
+        return replay_mod.RunMetrics(
+            makespan=1.0,
+            total_bytes=0,
+            requests=len(latencies),
+            per_server_busy=[],
+            per_server_bytes=[],
+            read_bytes=0,
+            write_bytes=0,
+            latencies=list(latencies),
+        )
+
+    def test_sorted_view_cached_and_reused(self):
+        m = self.metrics([3.0, 1.0, 2.0])
+        assert m.latency_percentile(0) == 1.0
+        first = m._sorted_latencies
+        assert first == [1.0, 2.0, 3.0]
+        assert m.latency_percentile(100) == 3.0
+        assert m._sorted_latencies is first
+
+    def test_length_change_rebuilds(self):
+        m = self.metrics([2.0, 1.0])
+        assert m.latency_percentile(100) == 2.0
+        m.latencies.append(0.5)
+        assert m.latency_percentile(0) == 0.5
+
+    def test_invalidate_after_in_place_mutation(self):
+        m = self.metrics([1.0, 2.0, 3.0])
+        assert m.latency_percentile(100) == 3.0
+        m.latencies[0] = 9.0  # same length: cache would go stale
+        m.invalidate_latency_cache()
+        assert m.latency_percentile(100) == 9.0
+
+    def test_percentile_validation_and_empty(self):
+        m = self.metrics([])
+        assert m.p99_latency == 0.0
+        with pytest.raises(ValueError):
+            m.latency_percentile(101)

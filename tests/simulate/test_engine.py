@@ -207,3 +207,45 @@ class TestProcess:
             ("fast", 3.0),
             ("slow", 4.5),
         ]
+
+
+class TestAdvanceTo:
+    def test_advances_idle_clock(self):
+        sim = Simulator()
+        assert sim.advance_to(5.0) == 5.0
+        assert sim.now == 5.0
+        sim.advance_to(5.0)  # no-op move to the same instant is fine
+
+    def test_backwards_rejected(self):
+        sim = Simulator()
+        sim.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            sim.advance_to(4.0)
+
+    def test_pending_events_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.advance_to(10.0)
+
+    def test_cancelled_events_do_not_block(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        assert sim.pending() == 0
+        assert sim.advance_to(10.0) == 10.0
+
+    def test_pending_drops_as_events_fire(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending() == 0

@@ -114,3 +114,53 @@ class TestMultiChannel:
         t_parallel = sim4.run()
         assert t_serial == 8.0
         assert t_parallel == 2.0
+
+
+class TestScheduleFlat:
+    def test_matches_event_schedule(self):
+        """schedule_flat returns the same finishes schedule produces."""
+        durations = [2.0, 3.0, 0.5]
+        sim_e = Simulator()
+        res_e = FIFOResource(sim_e)
+        finishes_e = []
+        for d in durations:
+            _, done = res_e.schedule(d)
+            done.add_waiter(lambda _=None: finishes_e.append(sim_e.now))
+        sim_e.run()
+        sim_f = Simulator()
+        res_f = FIFOResource(sim_f)
+        finishes_f = [res_f.schedule_flat(0.0, d) for d in durations]
+        assert finishes_f == finishes_e
+        assert res_f.busy_time == res_e.busy_time
+        assert res_f.served == res_e.served
+
+    def test_not_before_and_now_floor_the_start(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        assert res.schedule_flat(1.0, 2.0) == 3.0  # starts at now
+        assert res.schedule_flat(1.0, 1.0, not_before=10.0) == 11.0
+        assert res.schedule_flat(1.0, 1.0) == 12.0  # queued behind the tail
+
+    def test_multichannel_picks_earliest_tail(self):
+        sim = Simulator()
+        res = FIFOResource(sim, capacity=2)
+        assert res.schedule_flat(0.0, 4.0) == 4.0
+        assert res.schedule_flat(0.0, 1.0) == 1.0  # second channel is free
+        assert res.schedule_flat(0.0, 1.0) == 2.0  # behind the shorter tail
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        with pytest.raises(ValueError):
+            res.schedule_flat(0.0, -1.0)
+
+    def test_records_kept_when_enabled(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        res.keep_records = True
+        res.schedule_flat(0.0, 2.0, tag="a")
+        res.schedule_flat(1.0, 3.0, tag="b")
+        assert [(r.start, r.finish, r.tag) for r in res.records] == [
+            (0.0, 2.0, "a"),
+            (2.0, 5.0, "b"),
+        ]
