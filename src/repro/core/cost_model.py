@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import twin_of
 from ..devices.base import READ, WRITE
 from ..layouts.extents import (
     max_server_bytes_grid,
@@ -245,6 +246,11 @@ def burst_costs(
     return worst
 
 
+@twin_of(
+    "repro.core.cost_model:batch_costs",
+    param_map={"h": "h_arr", "s": "s_arr"},
+    harness="batch_costs_grid",
+)
 def batch_costs_grid(
     params: CostModelParams,
     offsets: np.ndarray,
@@ -340,6 +346,11 @@ def batch_costs_grid(
     return costs
 
 
+@twin_of(
+    "repro.core.cost_model:burst_costs",
+    param_map={"h": "h_arr", "s": "s_arr"},
+    harness="burst_costs_grid",
+)
 def burst_costs_grid(
     params: CostModelParams,
     offsets: np.ndarray,

@@ -30,6 +30,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..contracts import twin_of
 from ..exceptions import RedirectionError
 from ..kvstore import HashDB, LRUCache
 
@@ -307,6 +308,11 @@ class DRT:
             idx = 0
         return self._translate_walk(o_file, offset, end, idx)
 
+    @twin_of(
+        "repro.core.drt:DRT.translate",
+        param_map={"offset": "offsets", "length": "lengths"},
+        harness="drt_translate",
+    )
     def translate_many(
         self, o_file: str, offsets: Sequence[int], lengths: Sequence[int]
     ) -> list[list[TranslatedExtent]]:

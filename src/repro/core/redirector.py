@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..contracts import twin_of
 from ..exceptions import RedirectionError
 from ..layouts.base import Layout, SubRequest
 from ..layouts.batch import MergedRuns, RunsBuilder, merged_runs_of
@@ -118,6 +119,11 @@ class Redirector:
         self.stats.requests += 1
         return self._assemble(file, self._drt.translate(file, offset, length))
 
+    @twin_of(
+        "repro.core.redirector:Redirector.map_request",
+        param_map={"offset": "offsets", "length": "lengths"},
+        harness="redirector_map",
+    )
     def map_requests(
         self, file: str, offsets: Sequence[int], lengths: Sequence[int]
     ) -> list[list[SubRequest]]:
@@ -130,6 +136,12 @@ class Redirector:
         self.stats.requests += len(extents_per)
         return [self._assemble(file, extents) for extents in extents_per]
 
+    @twin_of(
+        "repro.core.redirector:Redirector.map_request",
+        kind="reduction",
+        param_map={"offset": "offsets", "length": "lengths"},
+        harness="redirector_runs",
+    )
     def merged_runs(
         self, file: str, offsets: Sequence[int], lengths: Sequence[int]
     ) -> MergedRuns:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import twin_of
+
 __all__ = [
     "bytes_in_window",
     "windows_touched",
@@ -138,6 +140,11 @@ def per_server_bytes_batch(
     return h_bytes, s_bytes
 
 
+@twin_of(
+    "repro.layouts.extents:per_server_bytes_batch",
+    param_map={"h": "h_arr", "s": "s_arr"},
+    harness="extents_grid",
+)
 def per_server_bytes_grid(
     offsets: np.ndarray,
     lengths: np.ndarray,
@@ -210,6 +217,12 @@ def per_server_bytes_grid(
     return h_bytes, s_bytes
 
 
+@twin_of(
+    "repro.layouts.extents:per_server_bytes_batch",
+    kind="reduction",
+    param_map={"h": "h_arr", "s": "s_arr"},
+    harness="extents_max_grid",
+)
 def max_server_bytes_grid(
     offsets: np.ndarray,
     lengths: np.ndarray,

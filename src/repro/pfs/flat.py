@@ -40,6 +40,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Sequence
 
+from ..contracts import twin_of
 from ..exceptions import SimulationError
 from ..layouts.batch import MergedRuns, RunsBuilder
 from ..tracing.record import TraceRecord
@@ -94,6 +95,12 @@ def mapped_runs(view: "FileView", records: Sequence[TraceRecord]) -> MergedRuns:
     return builder.build()
 
 
+@twin_of(
+    "repro.pfs.replay:_replay_event",
+    unsupported=("collector", "on_record"),
+    fallback_flags=("DEFAULT_REPLAY_ENGINE",),
+    harness="replay",
+)
 def replay_flat(
     pfs: "HybridPFS",
     view: "FileView",

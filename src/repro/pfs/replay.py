@@ -24,7 +24,7 @@ Two engines produce the same replay:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import Callable, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..cluster import ClusterSpec
 from ..config import DEFAULT_REPLAY_ENGINE
@@ -185,7 +185,7 @@ def _replay_event(
             phase_done[frontier[0]].fire()
             frontier[0] += 1
 
-    def rank_process(indices: list[int]):
+    def rank_process(indices: list[int]) -> Iterator[Waitable]:
         for i in indices:
             record = ordered[i]
             if use_barrier:

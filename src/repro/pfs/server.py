@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..contracts import twin_of
 from ..devices.base import Device, OpType
 from ..network.link import Link
 from ..simulate import Completion, FIFOResource, Simulator
@@ -135,6 +136,11 @@ class DataServer:
         _, done = self.channel.schedule(duration, not_before=not_before, tag=tag)
         return done
 
+    @twin_of(
+        "repro.pfs.server:DataServer.submit",
+        twin_only=("now",),
+        harness="server_submit",
+    )
     def submit_flat(
         self,
         op: OpType,

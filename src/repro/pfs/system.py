@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..cluster import ClusterSpec
+from ..contracts import twin_of
 from ..devices.base import OpType
 from ..exceptions import SimulationError
 from ..layouts.base import SubRequest
@@ -88,6 +89,11 @@ class HybridPFS:
         ]
         return self.sim.all_of(completions)
 
+    @twin_of(
+        "repro.pfs.system:HybridPFS.issue",
+        twin_only=("now",),
+        harness="pfs_issue",
+    )
     def issue_flat(
         self,
         op: OpType,

@@ -12,6 +12,7 @@ import abc
 from typing import Sequence
 
 from ..cluster import ClusterSpec
+from ..contracts import twin_of
 from ..exceptions import LayoutError
 from ..layouts.base import Layout, SubRequest
 from ..layouts.batch import MergedRuns, merged_runs_of
@@ -37,6 +38,11 @@ class LayoutView:
         """Resolve a request through the file's static layout."""
         return self.layout_for(file).map_extent(offset, length)
 
+    @twin_of(
+        "repro.schemes.base:LayoutView.map_request",
+        param_map={"offset": "offsets", "length": "lengths"},
+        harness="layout_view_map",
+    )
     def map_requests(
         self, file: str, offsets: Sequence[int], lengths: Sequence[int]
     ) -> list[list[SubRequest]]:
@@ -44,6 +50,12 @@ class LayoutView:
         layout provides a batch kernel)."""
         return self.layout_for(file).map_extents(offsets, lengths)
 
+    @twin_of(
+        "repro.schemes.base:LayoutView.map_request",
+        kind="reduction",
+        param_map={"offset": "offsets", "length": "lengths"},
+        harness="layout_view_runs",
+    )
     def merged_runs(
         self, file: str, offsets: Sequence[int], lengths: Sequence[int]
     ) -> MergedRuns:

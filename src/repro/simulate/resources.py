@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..contracts import twin_of
 from .engine import Completion, Simulator
 
 __all__ = ["FIFOResource", "ServiceRecord"]
@@ -98,6 +99,11 @@ class FIFOResource:
         self._sim.schedule_at(finish, lambda: done.fire(record))
         return record, done
 
+    @twin_of(
+        "repro.simulate.resources:FIFOResource.schedule",
+        twin_only=("now",),
+        harness="fifo_schedule",
+    )
     def schedule_flat(
         self, now: float, duration: float, not_before: float = 0.0, tag: object = None
     ) -> float:

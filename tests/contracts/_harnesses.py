@@ -1,0 +1,519 @@
+"""Differential-test harnesses for the twin-contract registry.
+
+One factory per :attr:`TwinContract.harness` name.  Each factory
+receives the contract and returns a hypothesis test function asserting
+the twin's observables are *exactly* equal to the reference path's —
+never approximately: twins only reorganize the same integer/IEEE
+operations (see ``docs/static-analysis.md``, "Twin contracts").
+
+The generated modules under ``tests/contracts/`` are one-liners calling
+:func:`build_twin_test`; all substance lives here so regeneration is a
+pure rename-level operation (``python -m tools.repro_lint
+gen-twin-tests``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import contracts
+from repro.cluster import ClusterSpec
+from repro.core import DRT, DRTEntry, Redirector, StripePair, build_region_layout
+from repro.core.cost_model import (
+    batch_costs,
+    batch_costs_grid,
+    burst_costs,
+    burst_costs_grid,
+)
+from repro.core import CostModelParams
+from repro.layouts import FixedStripeLayout
+from repro.layouts.batch import merge_fragments
+from repro.layouts.extents import (
+    max_server_bytes_grid,
+    per_server_bytes_batch,
+    per_server_bytes_grid,
+)
+from repro.pfs import HybridPFS, replay_trace
+from repro.pfs.server import DataServer
+from repro.schemes.base import LayoutView
+from repro.simulate import FIFOResource, Simulator
+from repro.tracing import Trace, TraceRecord
+from repro.units import KiB
+
+HARNESSES = {}
+
+#: cluster shapes exercised by the array-kernel harnesses (mirrors
+#: tests/core/test_grid_equivalence.py, including single-class clusters)
+SPECS = [
+    ClusterSpec(),
+    ClusterSpec(num_hservers=3, num_sservers=3),
+    ClusterSpec(num_sservers=0),
+    ClusterSpec(num_hservers=0, num_sservers=2),
+]
+
+
+def harness(name):
+    """Register a factory for contracts declaring ``harness=name``."""
+
+    def decorate(factory):
+        HARNESSES[name] = factory
+        return factory
+
+    return decorate
+
+
+def build_twin_test(twin_spec):
+    """The differential test for one registered twin contract.
+
+    Entry point of the generated modules: resolves the contract, looks
+    up its harness factory, and returns the hypothesis test it builds.
+    """
+    contracts.load_all()
+    contract = contracts.get_contract(twin_spec)
+    factory = HARNESSES.get(contract.harness)
+    if factory is None:
+        raise KeyError(
+            f"contract {twin_spec} names unknown harness {contract.harness!r}; "
+            "add a factory to tests/contracts/_harnesses.py"
+        )
+    return factory(contract)
+
+
+# ---------------------------------------------------------------- strategies
+
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+_extent_batches = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=512 * KiB),
+        st.integers(min_value=0, max_value=96 * KiB),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+_trace_shapes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=64),  # offset in 16 KiB units
+        st.integers(min_value=1, max_value=12),  # size in 16 KiB units
+        st.integers(min_value=0, max_value=3),  # phase index
+        st.integers(min_value=0, max_value=4),  # rank
+        st.sampled_from(["read", "write"]),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+# durations/bounds as integer quarters so float equality is trivially exact
+_service_batches = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # duration * 4
+        st.integers(min_value=0, max_value=60),  # not_before * 4
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+_sub_request_batches = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write"]),
+        st.sampled_from(["f", "g"]),
+        st.integers(min_value=0, max_value=48),  # offset in 8 KiB units
+        st.integers(min_value=1, max_value=16),  # length in 8 KiB units
+        st.integers(min_value=0, max_value=30),  # not_before * 4
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+def _random_region(rng, max_len=1 << 18):
+    K = int(rng.integers(1, 48))
+    offsets = rng.integers(0, 1 << 21, K)
+    lengths = rng.integers(1, max_len, K)
+    is_read = rng.random(K) < 0.5
+    conc = rng.integers(1, 16, K)
+    bursts = rng.integers(0, max(1, K // 3), K)
+    return offsets, lengths, is_read, conc, bursts
+
+
+def _candidate_grid(rng, G=16):
+    h = rng.integers(0, 64, G) * 4096
+    s = np.maximum(rng.integers(1, 64, G) * 4096, h)
+    return h, s
+
+
+# ---------------------------------------------------------------- replay
+
+
+@harness("replay")
+def _replay(contract):
+    @given(raw=_trace_shapes, nics=st.booleans(), gap=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test(raw, nics, gap):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2, model_client_nics=nics)
+        trace = Trace(
+            [
+                TraceRecord(
+                    offset=off * 16 * KiB,
+                    timestamp=phase * 10.0,
+                    rank=rank,
+                    size=size * 16 * KiB,
+                    op=op,
+                    file="f",
+                )
+                for off, size, phase, rank, op in raw
+            ]
+        )
+        runs = {}
+        for engine in ("event", "flat"):
+            pfs = HybridPFS(spec)
+            view = LayoutView(
+                {}, default=FixedStripeLayout(spec.server_ids, 32 * KiB, obj="f")
+            )
+            metrics = replay_trace(
+                pfs,
+                view,
+                trace,
+                engine=engine,
+                keep_latencies=True,
+                barrier_gap=5.0 if gap else None,
+            )
+            runs[engine] = (metrics, pfs)
+        (em, epfs), (fm, fpfs) = runs["event"], runs["flat"]
+        assert fm.makespan == em.makespan
+        assert fm.latencies == em.latencies
+        assert fm.per_server_busy == em.per_server_busy
+        assert fm.per_server_bytes == em.per_server_bytes
+        assert fm.total_bytes == em.total_bytes
+        assert fm.requests == em.requests
+        for fsrv, esrv in zip(fpfs.servers, epfs.servers):
+            assert fsrv.stats == esrv.stats
+        assert fpfs.sim.now == epfs.sim.now
+
+    return test
+
+
+# ---------------------------------------------------------------- pfs layers
+
+
+def _fresh_server(use_ssd):
+    spec = ClusterSpec()
+    sim = Simulator()
+    device = spec.ssd if use_ssd else spec.hdd
+    server = DataServer(sim, 0, device, spec.link)
+    server.channel.keep_records = True
+    return sim, server
+
+
+@harness("server_submit")
+def _server_submit(contract):
+    @given(batch=_sub_request_batches, use_ssd=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test(batch, use_ssd):
+        _, ref = _fresh_server(use_ssd)
+        _, twin = _fresh_server(use_ssd)
+        for op, obj, off, length, nb4 in batch:
+            ref.submit(op, obj, off * 8 * KiB, length * 8 * KiB, not_before=nb4 / 4.0)
+            twin.submit_flat(
+                op, obj, off * 8 * KiB, length * 8 * KiB, 0.0, not_before=nb4 / 4.0
+            )
+        assert twin.channel.records == ref.channel.records
+        assert twin.stats == ref.stats
+        assert twin.busy_time == ref.busy_time
+        assert twin.channel.busy_until == ref.channel.busy_until
+        assert twin.channel.served == ref.channel.served
+
+    return test
+
+
+@harness("fifo_schedule")
+def _fifo_schedule(contract):
+    @given(batch=_service_batches, capacity=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test(batch, capacity):
+        ref = FIFOResource(Simulator(), capacity=capacity)
+        twin = FIFOResource(Simulator(), capacity=capacity)
+        ref.keep_records = twin.keep_records = True
+        for i, (dur4, nb4) in enumerate(batch):
+            record, _ = ref.schedule(dur4 / 4.0, not_before=nb4 / 4.0, tag=i)
+            finish = twin.schedule_flat(0.0, dur4 / 4.0, not_before=nb4 / 4.0, tag=i)
+            assert finish == record.finish
+        assert twin.records == ref.records
+        assert twin.busy_time == ref.busy_time
+        assert twin.served == ref.served
+        assert twin.busy_until == ref.busy_until
+
+    return test
+
+
+@harness("pfs_issue")
+def _pfs_issue(contract):
+    @given(extents=_extent_batches, nics=st.booleans(), op=st.sampled_from(["read", "write"]))
+    @settings(max_examples=25, deadline=None)
+    def test(extents, nics, op):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2, model_client_nics=nics)
+        layout = FixedStripeLayout(spec.server_ids, 16 * KiB, obj="f")
+        ref, twin = HybridPFS(spec), HybridPFS(spec)
+        finishes = [0.0]
+        for rank, (offset, length) in enumerate(extents):
+            fragments = layout.map_extent(offset, length)
+            ref.issue(op, fragments, rank=rank)
+            finishes.append(twin.issue_flat(op, fragments, rank=rank, now=0.0))
+        ref.sim.run()
+        assert max(finishes) == ref.sim.now
+        assert twin.per_server_busy() == ref.per_server_busy()
+        assert twin.per_server_bytes() == ref.per_server_bytes()
+        for tsrv, rsrv in zip(twin.servers, ref.servers):
+            assert tsrv.stats == rsrv.stats
+            assert tsrv.channel.busy_until == rsrv.channel.busy_until
+
+    return test
+
+
+# ---------------------------------------------------------------- DRT layer
+
+
+def _build_drt(entry_shapes):
+    drt = DRT()
+    cursor = 0
+    for i, (gap, length, mapped) in enumerate(entry_shapes):
+        cursor += gap
+        if mapped:
+            drt.add(
+                DRTEntry(
+                    o_file="f",
+                    o_offset=cursor,
+                    length=length,
+                    r_file=f"f.r{i % 2}",
+                    r_offset=i * (1 << 20),
+                )
+            )
+        cursor += length
+    return drt, cursor
+
+
+_drt_shapes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=64 * KiB),  # gap before the entry
+        st.integers(min_value=1, max_value=64 * KiB),  # entry length
+        st.booleans(),  # actually insert it?
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+_probe_batches = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=640 * KiB),
+        st.integers(min_value=0, max_value=128 * KiB),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+
+@harness("drt_translate")
+def _drt_translate(contract):
+    @given(shapes=_drt_shapes, probes=_probe_batches)
+    @settings(max_examples=30, deadline=None)
+    def test(shapes, probes):
+        batched, _ = _build_drt(shapes)
+        scalar, _ = _build_drt(shapes)
+        offsets = [o for o, _ in probes]
+        lengths = [l for _, l in probes]
+        got = batched.translate_many("f", offsets, lengths)
+        want = [scalar.translate("f", o, l) for o, l in probes]
+        assert got == want
+        assert (batched.cache_hits, batched.cache_misses) == (
+            scalar.cache_hits,
+            scalar.cache_misses,
+        )
+
+    return test
+
+
+def _build_redirector(spec):
+    drt = DRT()
+    drt.add(DRTEntry("f", 0, 64 * KiB, "f.r0", 0))
+    drt.add(DRTEntry("f", 128 * KiB, 64 * KiB, "f.r1", 32 * KiB))
+    regions = {
+        "f.r0": build_region_layout(spec, StripePair(0, 8 * KiB), "f.r0"),
+        "f.r1": build_region_layout(spec, StripePair(4 * KiB, 16 * KiB), "f.r1"),
+    }
+    originals = {"f": FixedStripeLayout(spec.server_ids, 64 * KiB, obj="f")}
+    return Redirector(drt, regions, originals)
+
+
+@harness("redirector_map")
+def _redirector_map(contract):
+    @given(probes=_probe_batches)
+    @settings(max_examples=30, deadline=None)
+    def test(probes):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        batched, scalar = _build_redirector(spec), _build_redirector(spec)
+        offsets = [o for o, _ in probes]
+        lengths = [l for _, l in probes]
+        got = batched.map_requests("f", offsets, lengths)
+        want = [scalar.map_request("f", o, l) for o, l in probes]
+        assert got == want
+        assert batched.stats == scalar.stats
+
+    return test
+
+
+@harness("redirector_runs")
+def _redirector_runs(contract):
+    @given(probes=_probe_batches)
+    @settings(max_examples=30, deadline=None)
+    def test(probes):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        batched, scalar = _build_redirector(spec), _build_redirector(spec)
+        runs = batched.merged_runs(
+            "f", [o for o, _ in probes], [l for _, l in probes]
+        )
+        assert runs.n_extents == len(probes)
+        for k, (o, l) in enumerate(probes):
+            assert runs.subrequests(k) == merge_fragments(
+                scalar.map_request("f", o, l)
+            )
+        assert batched.stats == scalar.stats
+
+    return test
+
+
+# ---------------------------------------------------------------- layout view
+
+
+def _view(spec):
+    return LayoutView(
+        {"f": FixedStripeLayout(spec.server_ids, 64 * KiB, obj="f")},
+        default=FixedStripeLayout(spec.server_ids, 4 * KiB),
+    )
+
+
+@harness("layout_view_map")
+def _layout_view_map(contract):
+    @given(probes=_extent_batches, known=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test(probes, known):
+        view = _view(ClusterSpec(num_hservers=2, num_sservers=2))
+        file = "f" if known else "other"
+        offsets = [o for o, _ in probes]
+        lengths = [l for _, l in probes]
+        got = view.map_requests(file, offsets, lengths)
+        assert got == [view.map_request(file, o, l) for o, l in probes]
+
+    return test
+
+
+@harness("layout_view_runs")
+def _layout_view_runs(contract):
+    @given(probes=_extent_batches, known=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test(probes, known):
+        view = _view(ClusterSpec(num_hservers=2, num_sservers=2))
+        file = "f" if known else "other"
+        runs = view.merged_runs(
+            file, [o for o, _ in probes], [l for _, l in probes]
+        )
+        assert runs.n_extents == len(probes)
+        for k, (o, l) in enumerate(probes):
+            assert runs.subrequests(k) == merge_fragments(
+                view.map_request(file, o, l)
+            )
+
+    return test
+
+
+# ---------------------------------------------------------------- array kernels
+
+
+@harness("extents_grid")
+def _extents_grid(contract):
+    @given(seed=_seeds, which=st.integers(min_value=0, max_value=len(SPECS) - 1))
+    @settings(max_examples=15, deadline=None)
+    def test(seed, which):
+        spec = SPECS[which]
+        M, N = spec.num_hservers, spec.num_sservers
+        rng = np.random.default_rng(seed)
+        offsets, lengths, _, _, _ = _random_region(rng)
+        h_arr, s_arr = _candidate_grid(rng)
+        hg, sg = per_server_bytes_grid(offsets, lengths, M, N, h_arr, s_arr)
+        for g in range(h_arr.shape[0]):
+            hb, sb = per_server_bytes_batch(
+                offsets, lengths, M, N, int(h_arr[g]), int(s_arr[g])
+            )
+            assert np.array_equal(hg[g], hb)
+            assert np.array_equal(sg[g], sb)
+
+    return test
+
+
+@harness("extents_max_grid")
+def _extents_max_grid(contract):
+    @given(seed=_seeds, which=st.integers(min_value=0, max_value=len(SPECS) - 1))
+    @settings(max_examples=15, deadline=None)
+    def test(seed, which):
+        spec = SPECS[which]
+        M, N = spec.num_hservers, spec.num_sservers
+        rng = np.random.default_rng(seed)
+        offsets, lengths, _, _, _ = _random_region(rng)
+        h_arr, s_arr = _candidate_grid(rng)
+        hm, sm = max_server_bytes_grid(offsets, lengths, M, N, h_arr, s_arr)
+        for g in range(h_arr.shape[0]):
+            hb, sb = per_server_bytes_batch(
+                offsets, lengths, M, N, int(h_arr[g]), int(s_arr[g])
+            )
+            if M:
+                assert np.array_equal(hm[g], hb.max(axis=1))
+            else:
+                assert not hm[g].any()
+            if N:
+                assert np.array_equal(sm[g], sb.max(axis=1))
+            else:
+                assert not sm[g].any()
+
+    return test
+
+
+@harness("batch_costs_grid")
+def _batch_costs_grid(contract):
+    @given(seed=_seeds, which=st.integers(min_value=0, max_value=len(SPECS) - 1))
+    @settings(max_examples=10, deadline=None)
+    def test(seed, which):
+        spec = SPECS[which]
+        params = CostModelParams.from_cluster(spec)
+        rng = np.random.default_rng(seed)
+        offsets, lengths, is_read, conc, _ = _random_region(rng)
+        h_arr, s_arr = _candidate_grid(rng)
+        grid = batch_costs_grid(params, offsets, lengths, is_read, conc, h_arr, s_arr)
+        for g in range(h_arr.shape[0]):
+            row = batch_costs(
+                params, offsets, lengths, is_read, conc, int(h_arr[g]), int(s_arr[g])
+            )
+            assert np.array_equal(grid[g], row)
+
+    return test
+
+
+@harness("burst_costs_grid")
+def _burst_costs_grid(contract):
+    @given(seed=_seeds, which=st.integers(min_value=0, max_value=len(SPECS) - 1))
+    @settings(max_examples=10, deadline=None)
+    def test(seed, which):
+        spec = SPECS[which]
+        params = CostModelParams.from_cluster(spec)
+        rng = np.random.default_rng(seed)
+        offsets, lengths, is_read, _, bursts = _random_region(rng)
+        h_arr, s_arr = _candidate_grid(rng)
+        grid = burst_costs_grid(params, offsets, lengths, is_read, bursts, h_arr, s_arr)
+        for g in range(h_arr.shape[0]):
+            row = burst_costs(
+                params, offsets, lengths, is_read, bursts, int(h_arr[g]), int(s_arr[g])
+            )
+            assert np.array_equal(grid[g], row)
+
+    return test

@@ -7,6 +7,7 @@ codebase contained (aal.py's inline seed, placer.py's raw ``64 * 1024``
 and lazy import, test_parallel.py's lambda, features.py's ``== 0.0``).
 """
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -267,6 +268,199 @@ class TestRL005:
         assert "RL005" not in rules_of(src, TEST)
 
 
+# -- RL101..RL104 twin contracts -------------------------------------------
+
+
+def twin_fixture(ref_params, twin_params, deco_args="", body="    return 0\n"):
+    """One module holding a reference def and its decorated twin."""
+    return (
+        "from repro.contracts import twin_of\n\n"
+        f"def base({ref_params}):\n{body}\n"
+        f"@twin_of('repro.core.example:base'{deco_args})\n"
+        f"def base_many({twin_params}):\n{body}"
+    )
+
+
+class TestRL101:
+    def test_matching_signatures_clean(self):
+        src = twin_fixture("a, b", "a, b")
+        assert "RL101" not in rules_of(src, CORE)
+
+    def test_reference_param_missing_on_twin(self):
+        src = twin_fixture("a, b", "a")
+        assert "RL101" in rules_of(src, CORE)
+
+    def test_param_map_rename_accepted(self):
+        src = twin_fixture("a, offset", "a, offsets", ", param_map={'offset': 'offsets'}")
+        assert "RL101" not in rules_of(src, CORE)
+
+    def test_param_map_key_typo_flagged(self):
+        src = twin_fixture("a, offset", "a, offsets", ", param_map={'offzet': 'offsets'}")
+        assert "RL101" in rules_of(src, CORE)
+
+    def test_param_map_value_typo_flagged(self):
+        src = twin_fixture("a, offset", "a, offset", ", param_map={'offset': 'offzets'}")
+        assert "RL101" in rules_of(src, CORE)
+
+    def test_unsupported_param_accepted(self):
+        src = twin_fixture("a, hook", "a", ", unsupported=('hook',)")
+        assert "RL101" not in rules_of(src, CORE)
+
+    def test_unsupported_but_present_flagged(self):
+        src = twin_fixture("a, hook", "a, hook", ", unsupported=('hook',)")
+        assert "RL101" in rules_of(src, CORE)
+
+    def test_unsupported_unknown_param_flagged(self):
+        src = twin_fixture("a", "a", ", unsupported=('ghost',)")
+        assert "RL101" in rules_of(src, CORE)
+
+    def test_undeclared_twin_extra_flagged(self):
+        src = twin_fixture("a", "a, now")
+        assert "RL101" in rules_of(src, CORE)
+
+    def test_twin_only_extra_accepted(self):
+        src = twin_fixture("a", "a, now", ", twin_only=('now',)")
+        assert "RL101" not in rules_of(src, CORE)
+
+    def test_twin_only_unknown_param_flagged(self):
+        src = twin_fixture("a", "a", ", twin_only=('now',)")
+        assert "RL101" in rules_of(src, CORE)
+
+    def test_method_self_is_not_a_parameter(self):
+        src = (
+            "from repro.contracts import twin_of\n\n"
+            "class T:\n"
+            "    def base(self, a):\n"
+            "        return a\n\n"
+            "    @twin_of('repro.core.example:T.base')\n"
+            "    def base_many(self, a):\n"
+            "        return a\n"
+        )
+        assert "RL101" not in rules_of(src, CORE)
+
+
+class TestRL102:
+    CONFIG = "from repro.config import DEFAULT_SAMPLE_SEED\n"
+
+    def twin_reads(self, deco_args=""):
+        return (
+            self.CONFIG + "from repro.contracts import twin_of\n\n"
+            "def base(x):\n    return x\n\n"
+            f"@twin_of('repro.core.example:base'{deco_args})\n"
+            "def base_many(x):\n    return x + DEFAULT_SAMPLE_SEED\n"
+        )
+
+    def test_twin_only_config_read_flagged(self):
+        assert "RL102" in rules_of(self.twin_reads(), CORE)
+
+    def test_fallback_flag_declares_the_asymmetry(self):
+        src = self.twin_reads(", fallback_flags=('DEFAULT_SAMPLE_SEED',)")
+        assert "RL102" not in rules_of(src, CORE)
+
+    def test_reference_only_config_read_flagged(self):
+        src = (
+            self.CONFIG + "from repro.contracts import twin_of\n\n"
+            "def base(x):\n    return x + DEFAULT_SAMPLE_SEED\n\n"
+            "@twin_of('repro.core.example:base')\n"
+            "def base_many(x):\n    return x\n"
+        )
+        assert "RL102" in rules_of(src, CORE)
+
+    def test_symmetric_reads_clean(self):
+        src = (
+            self.CONFIG + "from repro.contracts import twin_of\n\n"
+            "def base(x):\n    return x + DEFAULT_SAMPLE_SEED\n\n"
+            "@twin_of('repro.core.example:base')\n"
+            "def base_many(x):\n    return x + DEFAULT_SAMPLE_SEED\n"
+        )
+        assert "RL102" not in rules_of(src, CORE)
+
+
+class TestRL103:
+    def test_unregistered_fast_path_name_flagged(self):
+        for name in ("replay_flat", "search_grid", "map_many", "batch_costs"):
+            src = f"def {name}(x):\n    return x\n"
+            assert "RL103" in rules_of(src, CORE), name
+
+    def test_registered_twin_exempt(self):
+        src = twin_fixture("a", "a")
+        assert "RL103" not in rules_of(src, CORE)
+
+    def test_contract_reference_exempt(self):
+        src = (
+            "from repro.contracts import twin_of\n\n"
+            "def batch_costs(a):\n    return a\n\n"
+            "@twin_of('repro.core.example:batch_costs')\n"
+            "def batch_costs_grid(a):\n    return a\n"
+        )
+        assert "RL103" not in rules_of(src, CORE)
+
+    def test_nested_defs_exempt(self):
+        src = (
+            "def search(h):\n"
+            "    def evaluate_grid(x):\n"
+            "        return x + h\n"
+            "    return evaluate_grid(1)\n"
+        )
+        assert "RL103" not in rules_of(src, CORE)
+
+    def test_tests_exempt(self):
+        src = "def run_many(x):\n    return x\n"
+        assert "RL103" not in rules_of(src, TEST)
+
+    def test_plain_names_ignored(self):
+        src = "def translate(x):\n    return x\n\ndef flatten(x):\n    return x\n"
+        assert "RL103" not in rules_of(src, CORE)
+
+
+class TestRL104:
+    def test_non_literal_reference_flagged(self):
+        src = (
+            "from repro.contracts import twin_of\n\n"
+            "REF = 'repro.core.example:base'\n\n"
+            "def base(a):\n    return a\n\n"
+            "@twin_of(REF)\n"
+            "def base_many(a):\n    return a\n"
+        )
+        assert "RL104" in rules_of(src, CORE)
+
+    def test_malformed_spec_flagged(self):
+        src = (
+            "from repro.contracts import twin_of\n\n"
+            "@twin_of('repro.core.example.base')\n"
+            "def base_many(a):\n    return a\n"
+        )
+        assert "RL104" in rules_of(src, CORE)
+
+    def test_unknown_kind_flagged(self):
+        src = twin_fixture("a", "a", ", kind='roughly_equal'")
+        assert "RL104" in rules_of(src, CORE)
+
+    def test_unresolvable_reference_flagged(self):
+        src = (
+            "from repro.contracts import twin_of\n\n"
+            "@twin_of('repro.core.example:ghost')\n"
+            "def base_many(a):\n    return a\n"
+        )
+        assert "RL104" in rules_of(src, CORE)
+
+    def test_cross_module_reference_resolves_from_disk(self):
+        """Single-file runs (pre-commit) resolve references by parsing
+        the referenced module under src/ on disk."""
+        src = (
+            "from repro.contracts import twin_of\n\n"
+            "@twin_of('repro.simulate.resources:FIFOResource.schedule',\n"
+            "         twin_only=('now',))\n"
+            "def schedule_flat(duration, not_before=0.0, tag=None, now=0.0):\n"
+            "    return now\n"
+        )
+        assert "RL104" not in rules_of(src, CORE)
+
+    def test_well_formed_contract_clean(self):
+        src = twin_fixture("a", "a", ", kind='reduction'")
+        assert "RL104" not in rules_of(src, CORE)
+
+
 # -- suppressions ----------------------------------------------------------
 
 
@@ -318,6 +512,73 @@ class TestSuppressions:
             "    return time.time(), s\n"
         )
         assert "RL001" in rules_of(src, SRC)
+
+
+class TestSuppressionLogicalLines:
+    """A disable comment inside an open logical line covers the whole
+    statement's physical span (multi-line calls, decorated defs)."""
+
+    def test_comment_after_diagnostic_line_in_same_statement(self):
+        src = (
+            "import time\n\n"
+            "x = time.time(\n"
+            ")  # repro-lint: disable=RL001\n"
+        )
+        assert "RL001" not in rules_of(src, SRC)
+
+    def test_comment_before_diagnostic_line_in_same_statement(self):
+        src = (
+            "import time\n\n"
+            "x = [\n"
+            "    # repro-lint: disable=RL001\n"
+            "    time.time(),\n"
+            "]\n"
+        )
+        assert "RL001" not in rules_of(src, SRC)
+
+    def test_span_ends_with_the_statement(self):
+        # the suppression must not leak past the closing bracket
+        src = (
+            "import time\n\n"
+            "x = time.time(\n"
+            ")  # repro-lint: disable=RL001\n"
+            "y = time.time()\n"
+        )
+        assert "RL001" in rules_of(src, SRC)
+
+    def test_multiline_decorator_suppresses_contract_rule(self):
+        # RL101 anchors at the decorator call; the comment sits on a
+        # later physical line of the same (decorator) logical line
+        src = (
+            "from repro.contracts import twin_of\n\n"
+            "def base(a, b):\n"
+            "    return 0\n\n"
+            "@twin_of(\n"
+            "    'repro.core.example:base',  # repro-lint: disable=RL101\n"
+            ")\n"
+            "def base_many(a):\n"
+            "    return 0\n"
+        )
+        assert "RL101" not in rules_of(src, CORE)
+
+    def test_decorator_suppression_does_not_cover_the_def(self):
+        # the decorator and the def are separate logical lines
+        src = (
+            "@staticmethod  # repro-lint: disable=RL103\n"
+            "def lonely_many(x):\n"
+            "    return x\n"
+        )
+        assert "RL103" in rules_of(src, CORE)
+
+    def test_def_line_suppression_covers_multiline_signature(self):
+        src = (
+            "def lonely_many(\n"
+            "    x,  # repro-lint: disable=RL103\n"
+            "    y,\n"
+            "):\n"
+            "    return x + y\n"
+        )
+        assert "RL103" not in rules_of(src, CORE)
 
 
 # -- engine / CLI ----------------------------------------------------------
@@ -376,8 +637,128 @@ class TestCLI:
     def test_list_rules(self, capsys):
         assert cli_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for rule in (
+            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL101", "RL102", "RL103", "RL104",
+        ):
             assert rule in out
+
+    def bad_file(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "online" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\nx = time.time()\n")
+        return bad
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = self.bad_file(tmp_path)
+        assert cli_main(["--format", "json", str(bad)]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in findings] == ["RL001"]
+        assert findings[0]["line"] == 3
+        assert findings[0]["path"].endswith("bad.py")
+
+    def test_sarif_format_to_output_file(self, tmp_path, capsys):
+        bad = self.bad_file(tmp_path)
+        out_file = tmp_path / "lint.sarif"
+        assert cli_main(
+            ["--format", "sarif", "--output", str(out_file), str(bad)]
+        ) == 1
+        assert capsys.readouterr().out == ""
+        doc = json.loads(out_file.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= {
+            "RL001", "RL101", "RL104",
+        }
+        result = run["results"][0]
+        assert result["ruleId"] == "RL001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+
+    def test_sarif_written_even_when_clean(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        out_file = tmp_path / "lint.sarif"
+        assert cli_main(
+            ["--format", "sarif", "--output", str(out_file), str(clean)]
+        ) == 0
+        assert json.loads(out_file.read_text())["runs"][0]["results"] == []
+
+
+class TestOverlappingPaths:
+    """Overlapping or differently spelled CLI paths must not duplicate
+    diagnostics: files are normalized and deduplicated before analysis."""
+
+    def make_tree(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "online" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\nx = time.time()\n")
+        return bad
+
+    def count_findings(self, argv, capsys):
+        code = cli_main(["--format", "json", *argv])
+        assert code == 1
+        return len(json.loads(capsys.readouterr().out))
+
+    def test_nested_directories(self, tmp_path, capsys):
+        bad = self.make_tree(tmp_path)
+        argv = [str(tmp_path / "src"), str(bad.parent)]
+        assert self.count_findings(argv, capsys) == 1
+
+    def test_directory_and_file(self, tmp_path, capsys):
+        bad = self.make_tree(tmp_path)
+        assert self.count_findings([str(tmp_path), str(bad)], capsys) == 1
+
+    def test_same_path_twice(self, tmp_path, capsys):
+        bad = self.make_tree(tmp_path)
+        assert self.count_findings([str(bad), str(bad)], capsys) == 1
+
+    def test_dot_spelled_duplicate(self, tmp_path, capsys):
+        bad = self.make_tree(tmp_path)
+        dotted = str(tmp_path / "." / "src")
+        assert self.count_findings([str(tmp_path / "src"), dotted], capsys) == 1
+
+
+class TestSeededMutation:
+    """The acceptance drill: growing a twin-only kwarg or config branch
+    must flip the lint from clean to failing."""
+
+    PAIR = (
+        "from repro.config import DEFAULT_SAMPLE_SEED\n"
+        "from repro.contracts import twin_of\n\n"
+        "def base(a, b):\n"
+        "    return a + b\n\n"
+        "@twin_of('repro.core.example:base')\n"
+        "def base_many(a, b):\n"
+        "    return a + b\n"
+    )
+
+    def write(self, tmp_path, source):
+        mod = tmp_path / "src" / "repro" / "core" / "example.py"
+        mod.parent.mkdir(parents=True, exist_ok=True)
+        mod.write_text(source)
+        return mod
+
+    def test_clean_pair_passes(self, tmp_path):
+        mod = self.write(tmp_path, self.PAIR)
+        assert cli_main([str(mod)]) == 0
+
+    def test_twin_kwarg_mutation_fails(self, tmp_path, capsys):
+        mutated = self.PAIR.replace("def base_many(a, b):", "def base_many(a, b, fancy=False):")
+        mod = self.write(tmp_path, mutated)
+        assert cli_main([str(mod)]) == 1
+        assert "RL101" in capsys.readouterr().out
+
+    def test_twin_config_branch_mutation_fails(self, tmp_path, capsys):
+        mutated = self.PAIR.replace(
+            "def base_many(a, b):\n    return a + b",
+            "def base_many(a, b):\n    return a + b + DEFAULT_SAMPLE_SEED",
+        )
+        mod = self.write(tmp_path, mutated)
+        assert cli_main([str(mod)]) == 1
+        assert "RL102" in capsys.readouterr().out
 
 
 class TestRepositoryIsClean:

@@ -8,4 +8,5 @@ from . import determinism  # noqa: F401
 from . import float_equality  # noqa: F401
 from . import parallel_safety  # noqa: F401
 from . import purity  # noqa: F401
+from . import twin_contracts  # noqa: F401
 from . import units_discipline  # noqa: F401

@@ -1,5 +1,8 @@
 """Command-line entry point: ``python -m tools.repro_lint src tests``.
 
+Subcommand ``gen-twin-tests`` renders the differential twin suites
+(see :mod:`tools.repro_lint.gen_twin_tests`); everything else lints.
+
 Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage error.
 """
 
@@ -10,6 +13,7 @@ import sys
 from typing import Sequence
 
 from .engine import lint_paths
+from .output import FORMATS, render
 from .registry import all_checkers
 
 
@@ -19,7 +23,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-specific static analysis for the MHA reproduction: "
             "determinism, units discipline, parallel safety, cost-model "
-            "purity, float equality."
+            "purity, float equality, twin contracts."
         ),
     )
     parser.add_argument(
@@ -37,10 +41,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write diagnostics to FILE instead of stdout",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "gen-twin-tests":
+        from .gen_twin_tests import main as gen_main
+
+        return gen_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -62,8 +84,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
         return 2
 
-    for diag in diagnostics:
-        print(diag.render())
+    rendered = render(diagnostics, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    elif rendered:
+        print(rendered)
     if diagnostics:
         count = len(diagnostics)
         plural = "s" if count != 1 else ""

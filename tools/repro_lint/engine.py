@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from .diagnostics import Diagnostic
-from .registry import Checker, all_checkers
+from .registry import Checker, ProjectChecker, all_checkers
 from .suppressions import SuppressionIndex
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
@@ -61,12 +61,18 @@ class FileContext:
 
 
 def iter_python_files(paths: Sequence[str]) -> list[str]:
-    """Expand files/directories into a sorted list of ``*.py`` paths."""
+    """Expand files/directories into a sorted list of ``*.py`` paths.
+
+    Paths are normalized to absolute form before deduplication, so
+    overlapping or differently spelled arguments (``src src/repro``,
+    ``./src src``, an absolute and a relative spelling of the same
+    tree) contribute each file exactly once.
+    """
     found: set[str] = set()
     for path in paths:
         if os.path.isfile(path):
             if path.endswith(".py"):
-                found.add(path)
+                found.add(os.path.normpath(os.path.abspath(path)))
         elif os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
                 dirnames[:] = sorted(
@@ -76,7 +82,11 @@ def iter_python_files(paths: Sequence[str]) -> list[str]:
                 )
                 for filename in filenames:
                     if filename.endswith(".py"):
-                        found.add(os.path.join(dirpath, filename))
+                        found.add(
+                            os.path.normpath(
+                                os.path.abspath(os.path.join(dirpath, filename))
+                            )
+                        )
         else:
             raise FileNotFoundError(path)
     return sorted(found)
@@ -97,32 +107,74 @@ def make_context(source: str, display_path: str) -> FileContext:
     )
 
 
-def lint_source(
-    source: str,
-    display_path: str,
-    checkers: Sequence[Checker] | None = None,
-) -> list[Diagnostic]:
-    """Lint one in-memory source blob (the unit tests' entry point)."""
-    if checkers is None:
-        checkers = all_checkers()
-    try:
-        ctx = make_context(source, display_path)
-    except SyntaxError as exc:
-        diag = Diagnostic(
-            path=display_path,
-            line=exc.lineno or 1,
-            col=(exc.offset or 1) - 1,
-            rule="RL000",
-            message=f"syntax error: {exc.msg}",
-        )
-        return [diag]
-    diagnostics = [
+def _syntax_error_diag(display_path: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        path=display_path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        rule="RL000",
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def _split_checkers(
+    checkers: Sequence[Checker],
+) -> tuple[list[Checker], list[ProjectChecker]]:
+    per_file = [c for c in checkers if not isinstance(c, ProjectChecker)]
+    project = [c for c in checkers if isinstance(c, ProjectChecker)]
+    return per_file, project
+
+
+def _check_file(ctx: FileContext, checkers: Sequence[Checker]) -> list[Diagnostic]:
+    return [
         diag
         for checker in checkers
         if checker.applies_to(ctx)
         for diag in checker.check(ctx)
         if not ctx.suppressions.is_suppressed(diag.rule, diag.line)
     ]
+
+
+def _finalize_project(
+    project: Sequence[ProjectChecker],
+    suppressions: dict[str, SuppressionIndex],
+) -> list[Diagnostic]:
+    """Run project-checker finalizers, honoring per-file suppressions."""
+    diagnostics: list[Diagnostic] = []
+    for checker in project:
+        for diag in checker.finalize():
+            index = suppressions.get(diag.path)
+            if index is not None and index.is_suppressed(diag.rule, diag.line):
+                continue
+            diagnostics.append(diag)
+    return diagnostics
+
+
+def lint_source(
+    source: str,
+    display_path: str,
+    checkers: Sequence[Checker] | None = None,
+) -> list[Diagnostic]:
+    """Lint one in-memory source blob (the unit tests' entry point).
+
+    Project-wide checkers see just this one file: they collect it and
+    finalize immediately, which is also how single-file pre-commit runs
+    behave.
+    """
+    if checkers is None:
+        checkers = all_checkers()
+    try:
+        ctx = make_context(source, display_path)
+    except SyntaxError as exc:
+        return [_syntax_error_diag(display_path, exc)]
+    per_file, project = _split_checkers(checkers)
+    diagnostics = _check_file(ctx, per_file)
+    for checker in project:
+        if checker.applies_to(ctx):
+            checker.collect(ctx)
+    diagnostics.extend(
+        _finalize_project(project, {display_path: ctx.suppressions})
+    )
     return sorted(diagnostics)
 
 
@@ -130,9 +182,15 @@ def lint_paths(
     paths: Sequence[str],
     select: Iterable[str] | None = None,
 ) -> list[Diagnostic]:
-    """Lint every python file reachable from ``paths``."""
-    checkers = all_checkers(select)
+    """Lint every python file reachable from ``paths``.
+
+    Per-file rules run as each file is parsed; project-wide rules
+    collect every file first and finalize once at the end, so
+    cross-module contracts resolve no matter the argument order.
+    """
+    per_file, project = _split_checkers(all_checkers(select))
     diagnostics: list[Diagnostic] = []
+    suppressions: dict[str, SuppressionIndex] = {}
     root = os.getcwd()
     for filepath in iter_python_files(paths):
         display = os.path.relpath(filepath, root)
@@ -140,5 +198,15 @@ def lint_paths(
             display = filepath
         with open(filepath, encoding="utf-8") as handle:
             source = handle.read()
-        diagnostics.extend(lint_source(source, display, checkers))
+        try:
+            ctx = make_context(source, display)
+        except SyntaxError as exc:
+            diagnostics.append(_syntax_error_diag(display, exc))
+            continue
+        suppressions[display] = ctx.suppressions
+        diagnostics.extend(_check_file(ctx, per_file))
+        for checker in project:
+            if checker.applies_to(ctx):
+                checker.collect(ctx)
+    diagnostics.extend(_finalize_project(project, suppressions))
     return sorted(diagnostics)

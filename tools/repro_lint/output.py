@@ -1,0 +1,103 @@
+"""Diagnostic serializers: plain text, JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format GitHub code scanning ingests, so CI can
+upload repro-lint findings as inline pull-request annotations; JSON is
+a stable machine-readable form for ad-hoc tooling.  Columns are
+0-based internally (matching ``ast``) and converted to SARIF's 1-based
+convention at the boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .diagnostics import Diagnostic
+from .registry import all_checkers
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+FORMATS = ("text", "json", "sarif")
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    return "\n".join(diag.render() for diag in diagnostics)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    return json.dumps(
+        [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "rule": d.rule,
+                "message": d.message,
+            }
+            for d in diagnostics
+        ],
+        indent=2,
+    )
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    rules = [
+        {
+            "id": checker.rule,
+            "name": checker.name,
+            "shortDescription": {"text": checker.description},
+        }
+        for checker in all_checkers()
+    ]
+    results = [
+        {
+            "ruleId": d.rule,
+            "level": "error",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": d.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diagnostics
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def render(diagnostics: Sequence[Diagnostic], fmt: str) -> str:
+    if fmt == "text":
+        return render_text(diagnostics)
+    if fmt == "json":
+        return render_json(diagnostics)
+    if fmt == "sarif":
+        return render_sarif(diagnostics)
+    raise ValueError(f"unknown output format {fmt!r}")

@@ -44,6 +44,26 @@ class Checker:
         )
 
 
+class ProjectChecker(Checker):
+    """A checker whose rule spans files (e.g. cross-module contracts).
+
+    The engine feeds every linted file through :meth:`collect`, then
+    calls :meth:`finalize` once at the end of the run; diagnostics may
+    point at any collected file.  ``check`` is unused for these rules.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        return iter(())
+
+    def collect(self, ctx: "FileContext") -> None:
+        """Record whatever this rule needs from one file."""
+        raise NotImplementedError
+
+    def finalize(self) -> Iterator[Diagnostic]:
+        """Yield diagnostics after every file has been collected."""
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, Type[Checker]] = {}
 
 

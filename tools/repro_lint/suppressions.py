@@ -1,10 +1,16 @@
 """``# repro-lint: disable=<rule>[,<rule>...]`` suppression comments.
 
 Suppressions are *scoped and explicit*: a comment silences only the
-named rules, only on its own physical line (or, with ``disable-file=``,
-across the whole file).  Comments are located with :mod:`tokenize` so
-string literals that merely *contain* the marker text are never
-mistaken for suppressions.
+named rules, and only where it sits.  A comment inside an open logical
+line — a multi-line call, a parenthesized decorator, an implicitly
+continued expression — silences the *whole statement's* physical line
+range, so a diagnostic anchored at the statement's first line can be
+suppressed by a comment next to the offending argument (and vice
+versa).  A comment on a line of its own stays line-specific, and
+``disable-file=`` covers the whole file.  Comments are located with
+:mod:`tokenize` so string literals that merely *contain* the marker
+text are never mistaken for suppressions, and logical-line extents come
+from the NEWLINE/NL token distinction rather than bracket counting.
 """
 
 from __future__ import annotations
@@ -16,6 +22,17 @@ import tokenize
 _DISABLE_RE = re.compile(
     r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*"
     r"(?P<rules>[A-Z]{2}[0-9]{3}(?:\s*,\s*[A-Z]{2}[0-9]{3})*)"
+)
+
+#: tokens that neither end a logical line nor start one
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.NL,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
 )
 
 
@@ -35,22 +52,43 @@ class SuppressionIndex:
         are moot.
         """
         index = cls()
+        #: first physical line of the logical line currently open, if any
+        logical_start: int | None = None
+        #: rules from disable= comments seen inside the open logical line
+        pending: set[str] = set()
         try:
             tokens = tokenize.generate_tokens(io.StringIO(source).readline)
             for tok in tokens:
-                if tok.type != tokenize.COMMENT:
+                if tok.type == tokenize.COMMENT:
+                    match = _DISABLE_RE.search(tok.string)
+                    if match is None:
+                        continue
+                    rules = {r.strip() for r in match.group("rules").split(",")}
+                    if match.group("scope") == "disable-file":
+                        index._file_wide |= rules
+                    elif logical_start is None:
+                        # a comment on its own line is line-specific
+                        index._add(tok.start[0], tok.start[0], rules)
+                    else:
+                        pending |= rules
+                elif tok.type == tokenize.NEWLINE:
+                    # a logical line just ended: apply its suppressions
+                    # across every physical line it spanned
+                    if pending and logical_start is not None:
+                        index._add(logical_start, tok.start[0], pending)
+                    pending = set()
+                    logical_start = None
+                elif tok.type in _NON_CODE_TOKENS:
                     continue
-                match = _DISABLE_RE.search(tok.string)
-                if match is None:
-                    continue
-                rules = {r.strip() for r in match.group("rules").split(",")}
-                if match.group("scope") == "disable-file":
-                    index._file_wide |= rules
-                else:
-                    index._by_line.setdefault(tok.start[0], set()).update(rules)
+                elif logical_start is None:
+                    logical_start = tok.start[0]
         except (tokenize.TokenError, IndentationError, SyntaxError):
             pass
         return index
+
+    def _add(self, first_line: int, last_line: int, rules: set[str]) -> None:
+        for line in range(first_line, last_line + 1):
+            self._by_line.setdefault(line, set()).update(rules)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         """Whether ``rule`` is silenced on ``line``."""
