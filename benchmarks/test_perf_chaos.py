@@ -1,0 +1,136 @@
+"""Chaos-path microbenchmark: faulted replay and the chaos sweep harness.
+
+Times the fault-injection hot paths so CI catches regressions in the
+per-request ``ServerFaultState.adjust`` lookups and the straggler-aware
+dispatch loop (reported through the ``candidates_per_sec`` field the CI
+gate compares):
+
+* ``chaos-replay-def`` — the flat kernel replaying the write/re-read
+  chaos trace under a full four-model fault plan with the default
+  striping layout (also asserts bit-identity against the event engine);
+* ``chaos-replay-saw`` — the event engine replaying the same faulted
+  trace through the straggler-aware view (EWMA feedback + redirection);
+* ``chaos-sweep`` — a small end-to-end ``chaos_experiment`` sweep
+  (two intensities, DEF vs SAW) including report assembly.
+
+Results are written to ``BENCH_chaos.json`` (override with the
+``REPRO_BENCH_OUT`` environment variable) and CI gates them against
+``benchmarks/baselines/BENCH_chaos.json`` with the same >30% regression
+tolerance as the other benchmarks.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+
+from harness.bench import BenchReport, PhaseResult  # noqa: E402
+
+from repro.cluster import ClusterSpec  # noqa: E402
+from repro.harness.chaos import (  # noqa: E402
+    CHAOS_MODEL_NAMES,
+    chaos_experiment,
+    chaos_fault_plan,
+    chaos_trace,
+)
+from repro.pfs import HybridPFS, replay_trace  # noqa: E402
+from repro.schemes import make_scheme  # noqa: E402
+
+REPEATS = 3
+
+
+def best_of(fn, repeats: int = REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def report():
+    rep = BenchReport(bench="chaos")
+    rep.collect_environment()
+    yield rep
+    out = os.environ.get("REPRO_BENCH_OUT", str(REPO_ROOT / "BENCH_chaos.json"))
+    rep.write(out)
+    print(f"\nwrote {out}")
+
+
+@pytest.fixture(scope="module")
+def faulted_workload():
+    spec = ClusterSpec(model_client_nics=True)
+    trace = chaos_trace(processes=16, phases=24)
+    plan = chaos_fault_plan(spec, 1.0, models=CHAOS_MODEL_NAMES)
+    return spec, trace, plan
+
+
+def _replay(spec, trace, view, plan, engine):
+    pfs = HybridPFS(spec)
+    metrics = replay_trace(
+        pfs, view, trace, keep_latencies=True, fault_plan=plan, engine=engine
+    )
+    return metrics, pfs
+
+
+def test_faulted_replay_def(report, faulted_workload):
+    """Faulted flat replay stays bit-identical to the event engine."""
+    spec, trace, plan = faulted_workload
+    view = make_scheme("DEF").build(spec, trace)
+    event_wall, (event_metrics, event_pfs) = best_of(
+        lambda: _replay(spec, trace, view, plan, "event")
+    )
+    flat_wall, (flat_metrics, flat_pfs) = best_of(
+        lambda: _replay(spec, trace, view, plan, "flat")
+    )
+    assert flat_metrics.makespan == event_metrics.makespan
+    assert flat_metrics.latencies == event_metrics.latencies
+    for flat_srv, event_srv in zip(flat_pfs.servers, event_pfs.servers):
+        assert flat_srv.busy_time == event_srv.busy_time
+
+    report.add(
+        PhaseResult.from_timing(
+            "chaos-replay-def", flat_wall, len(trace), scalar_wall_s=event_wall
+        )
+    )
+    print(
+        f"\nchaos replay DEF: {len(trace)} records, "
+        f"event {event_wall * 1e3:.1f} ms, flat {flat_wall * 1e3:.1f} ms "
+        f"({len(trace) / flat_wall:,.0f} rec/s)"
+    )
+
+
+def test_faulted_replay_saw(report, faulted_workload):
+    """The straggler-aware feedback loop on the event engine."""
+    spec, trace, plan = faulted_workload
+    wall, (metrics, _) = best_of(
+        lambda: _replay(
+            spec, trace, make_scheme("SAW").build(spec, trace), plan, "event"
+        )
+    )
+    assert metrics.total_bytes == trace.total_bytes()
+    report.add(PhaseResult.from_timing("chaos-replay-saw", wall, len(trace)))
+    print(f"\nchaos replay SAW: {len(trace)} records, {wall * 1e3:.1f} ms")
+
+
+def test_chaos_sweep(report):
+    """End-to-end sweep: fault compilation, replay, report assembly."""
+    trace = chaos_trace(processes=4, phases=8)
+    runs_per_sweep = 2 * 2  # two intensities x two schemes
+
+    def sweep():
+        return chaos_experiment(
+            trace=trace, intensities=(0.0, 1.0), schemes=("DEF", "SAW")
+        )
+
+    wall, rep = best_of(sweep)
+    assert len(rep.digest()) == 64
+    report.add(PhaseResult.from_timing("chaos-sweep", wall, runs_per_sweep))
+    print(f"\nchaos sweep: {runs_per_sweep} runs, {wall * 1e3:.1f} ms")

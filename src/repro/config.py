@@ -13,7 +13,7 @@ seeds and unseeded generators are rejected; named seeds pass).
 
 from __future__ import annotations
 
-__all__ = ["DEFAULT_REPLAY_ENGINE", "DEFAULT_SAMPLE_SEED"]
+__all__ = ["DEFAULT_FAULT_SEED", "DEFAULT_REPLAY_ENGINE", "DEFAULT_SAMPLE_SEED"]
 
 #: Seed for every deterministic sampling RNG in the planning pipeline
 #: (trace subsampling, k-means initialisation, tie-breaking).  Changing
@@ -21,6 +21,14 @@ __all__ = ["DEFAULT_REPLAY_ENGINE", "DEFAULT_SAMPLE_SEED"]
 #: but byte-identical reproduction of recorded results requires the
 #: recorded seed.
 DEFAULT_SAMPLE_SEED: int = 0
+
+#: Seed for fault-plan compilation (:class:`repro.faults.FaultPlan`):
+#: randomized fault models (transient-slowdown window draws) derive
+#: their generator from ``[DEFAULT_FAULT_SEED, model_index]``, so a
+#: plan compiles to the same per-server timelines on every run and on
+#: every worker process.  Distinct from the sampling seed so fault
+#: schedules can be varied without disturbing planning.
+DEFAULT_FAULT_SEED: int = 1729
 
 #: Replay engine used when the caller does not pick one: ``"flat"``
 #: (the event-free queue-tail kernel of :mod:`repro.pfs.flat`) or

@@ -57,6 +57,7 @@ TWIN_MODULES = (
     "repro.core.cost_model",
     "repro.core.drt",
     "repro.core.redirector",
+    "repro.faults.state",
     "repro.layouts.extents",
     "repro.pfs.flat",
     "repro.pfs.server",

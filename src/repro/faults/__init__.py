@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the simulated PFS.
+
+Declarative, seeded fault models (:mod:`~repro.faults.models`) compile
+through a :class:`~repro.faults.plan.FaultPlan` into per-server
+timelines (:mod:`~repro.faults.state`) that both replay engines consult
+bit-identically.  See ``docs/architecture.md``, "Fault injection &
+straggler-aware dispatch".
+"""
+
+from .models import (
+    BackgroundScrub,
+    FaultModel,
+    ServerOutage,
+    TransientSlowdown,
+    WriteCliff,
+    model_from_dict,
+    model_to_dict,
+)
+from .plan import FaultPlan
+from .state import CliffState, Scrub, ServerFaultState, Window
+
+__all__ = [
+    "BackgroundScrub",
+    "CliffState",
+    "FaultModel",
+    "FaultPlan",
+    "ServerFaultState",
+    "ServerOutage",
+    "Scrub",
+    "TransientSlowdown",
+    "Window",
+    "WriteCliff",
+    "model_from_dict",
+    "model_to_dict",
+]

@@ -1,0 +1,217 @@
+"""Declarative fault models: what can go wrong with a data server.
+
+Each model is a frozen dataclass naming one server and one degradation
+mechanism; a :class:`~repro.faults.plan.FaultPlan` is just a tuple of
+them plus a seed.  Models are *declarative* — they carry parameters,
+not state — and compile into :class:`~repro.faults.state.ServerFaultState`
+timelines via :meth:`apply` (randomized models draw from the seeded
+generator the plan hands them, so compilation is deterministic).
+
+The four mechanisms mirror the degradation taxonomy of the straggler
+literature (PAPERS.md):
+
+* :class:`TransientSlowdown` — random slow windows (GC pauses, noisy
+  neighbours, thermal throttling);
+* :class:`BackgroundScrub` — periodic dilation while a scrub/patrol
+  pass runs;
+* :class:`ServerOutage` — a blackout followed by a rebuilding phase
+  served at reduced speed;
+* :class:`WriteCliff` — SSD write performance collapsing once the
+  device's fast cache fills, recovering after idle gaps.
+
+All factors are service-time *multipliers* (>= 1 degrades), so faults
+never change which bytes land where — only when.  The conservation
+property tests in ``tests/test_robustness.py`` pin that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..units import MiB
+from .state import CliffState, Scrub, ServerFaultState, Window
+
+__all__ = [
+    "BackgroundScrub",
+    "FaultModel",
+    "MODEL_KINDS",
+    "ServerOutage",
+    "ServerTimeline",
+    "TransientSlowdown",
+    "WriteCliff",
+    "model_from_dict",
+    "model_to_dict",
+]
+
+
+@dataclass
+class ServerTimeline:
+    """One server's accumulated contributions before compilation."""
+
+    windows: list[Window] = field(default_factory=list)
+    outages: list[tuple[float, float]] = field(default_factory=list)
+    scrubs: list[Scrub] = field(default_factory=list)
+    cliff: CliffState | None = None
+
+    def build(self) -> ServerFaultState:
+        return ServerFaultState(
+            windows=self.windows,
+            outages=self.outages,
+            scrubs=self.scrubs,
+            cliff=self.cliff,
+        )
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class TransientSlowdown:
+    """``windows`` random slow intervals drawn over ``[0, horizon)``.
+
+    Starts are uniform, durations exponential with mean
+    ``mean_duration``; overlapping draws compose multiplicatively when
+    the plan flattens them.
+    """
+
+    kind: ClassVar[str] = "slowdown"
+    server: int
+    factor: float = 3.0
+    windows: int = 4
+    mean_duration: float = 2.0
+    horizon: float = 120.0
+
+    def __post_init__(self) -> None:
+        _require(self.server >= 0, "fault server index must be >= 0")
+        _require(self.factor > 0, "slowdown factor must be > 0")
+        _require(self.windows >= 0, "window count must be >= 0")
+        _require(self.mean_duration > 0, "mean_duration must be > 0")
+        _require(self.horizon > 0, "horizon must be > 0")
+
+    def apply(self, timeline: ServerTimeline, rng: np.random.Generator) -> None:
+        starts = rng.uniform(0.0, self.horizon, self.windows)
+        durations = rng.exponential(self.mean_duration, self.windows)
+        for start, duration in zip(starts.tolist(), durations.tolist()):
+            timeline.windows.append(Window(start, start + duration, self.factor))
+
+
+@dataclass(frozen=True)
+class BackgroundScrub:
+    """Periodic dilation: ``duty`` seconds at the start of each
+    ``period``-second cycle (offset by ``phase``) run ``factor`` slow."""
+
+    kind: ClassVar[str] = "scrub"
+    server: int
+    period: float = 30.0
+    duty: float = 6.0
+    factor: float = 1.8
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.server >= 0, "fault server index must be >= 0")
+        _require(self.period > 0, "scrub period must be > 0")
+        _require(0 <= self.duty <= self.period, "scrub duty must be in [0, period]")
+        _require(self.factor > 0, "scrub factor must be > 0")
+
+    def apply(self, timeline: ServerTimeline, rng: np.random.Generator) -> None:
+        timeline.scrubs.append(Scrub(self.period, self.duty, self.factor, self.phase))
+
+
+@dataclass(frozen=True)
+class ServerOutage:
+    """Fail-then-rebuild: down for ``duration`` seconds starting
+    ``at``, then serving at ``rebuild_factor`` for
+    ``rebuild_duration`` seconds while it catches up."""
+
+    kind: ClassVar[str] = "outage"
+    server: int
+    at: float = 0.0
+    duration: float = 5.0
+    rebuild_duration: float = 10.0
+    rebuild_factor: float = 2.5
+
+    def __post_init__(self) -> None:
+        _require(self.server >= 0, "fault server index must be >= 0")
+        _require(self.at >= 0, "outage start must be >= 0")
+        _require(self.duration > 0, "outage duration must be > 0")
+        _require(self.rebuild_duration >= 0, "rebuild_duration must be >= 0")
+        _require(self.rebuild_factor > 0, "rebuild_factor must be > 0")
+
+    def apply(self, timeline: ServerTimeline, rng: np.random.Generator) -> None:
+        end = self.at + self.duration
+        timeline.outages.append((self.at, end))
+        if self.rebuild_duration > 0:
+            timeline.windows.append(
+                Window(end, end + self.rebuild_duration, self.rebuild_factor)
+            )
+
+
+@dataclass(frozen=True)
+class WriteCliff:
+    """SSD write cliff: once ``capacity_bytes`` of writes accumulate
+    without an idle gap of ``recovery_idle`` seconds, writes run
+    ``factor`` slow until the device gets such a gap."""
+
+    kind: ClassVar[str] = "write_cliff"
+    server: int
+    capacity_bytes: int = 8 * MiB
+    factor: float = 3.0
+    recovery_idle: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.server >= 0, "fault server index must be >= 0")
+        _require(self.capacity_bytes > 0, "capacity_bytes must be > 0")
+        _require(self.factor > 0, "write-cliff factor must be > 0")
+        _require(self.recovery_idle > 0, "recovery_idle must be > 0")
+
+    def apply(self, timeline: ServerTimeline, rng: np.random.Generator) -> None:
+        if timeline.cliff is not None:
+            raise ConfigurationError(
+                f"server {self.server} declares more than one write-cliff model"
+            )
+        timeline.cliff = CliffState(
+            capacity_bytes=self.capacity_bytes,
+            factor=self.factor,
+            recovery_idle=self.recovery_idle,
+        )
+
+
+FaultModel = Union[TransientSlowdown, BackgroundScrub, ServerOutage, WriteCliff]
+
+#: kind string -> model class (the serialization registry)
+MODEL_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (TransientSlowdown, BackgroundScrub, ServerOutage, WriteCliff)
+}
+
+
+def model_to_dict(model: FaultModel) -> dict[str, Any]:
+    """Serialize one model to a plain JSON-compatible dict."""
+    payload: dict[str, Any] = {"kind": model.kind}
+    for f in fields(model):
+        payload[f.name] = getattr(model, f.name)
+    return payload
+
+
+def model_from_dict(payload: dict[str, Any]) -> FaultModel:
+    """Rebuild a model from :func:`model_to_dict` output."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = MODEL_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown fault kind {kind!r}; choose from {sorted(MODEL_KINDS)}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown field(s) {sorted(unknown)} for fault kind {kind!r}"
+        )
+    return cls(**data)

@@ -1,0 +1,117 @@
+"""FaultPlan: a declarative, seeded, per-server fault schedule.
+
+A plan is a tuple of :mod:`~repro.faults.models` entries plus one seed.
+Compilation is deterministic and *per-model* independent: model ``i``
+draws from ``default_rng([seed, i])``, so adding or removing one model
+never changes what the others draw.  Plans are frozen and picklable —
+:func:`repro.harness.experiment.compare_schemes` ships them to worker
+processes — and round-trip through plain dicts for the chaos CLI.
+
+Usage::
+
+    plan = FaultPlan((TransientSlowdown(server=0, factor=4.0),
+                      ServerOutage(server=1, at=10.0)))
+    plan.attach(pfs)            # compile + set server.faults
+    replay_trace(pfs, view, trace)
+
+Attaching compiles *fresh* state every time (write-cliff counters and
+flat-path cursors are mutable), so one plan can drive any number of
+independent replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_FAULT_SEED
+from ..exceptions import ConfigurationError
+from .models import FaultModel, ServerTimeline, model_from_dict, model_to_dict
+from .state import ServerFaultState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pfs.system import HybridPFS
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative fault schedule: models + seed (see module doc)."""
+
+    faults: tuple[FaultModel, ...] = ()
+    seed: int = DEFAULT_FAULT_SEED
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def servers(self) -> tuple[int, ...]:
+        """Distinct server indices the plan degrades, ascending."""
+        return tuple(sorted({model.server for model in self.faults}))
+
+    def compile(self, num_servers: int) -> dict[int, ServerFaultState]:
+        """Compile per-server fault state for a ``num_servers`` cluster.
+
+        Returns a fresh state object per faulted server — safe to call
+        repeatedly; each replay gets untouched cursors/counters.
+        """
+        timelines: dict[int, ServerTimeline] = {}
+        for index, model in enumerate(self.faults):
+            if not 0 <= model.server < num_servers:
+                raise ConfigurationError(
+                    f"fault model {index} targets server {model.server}, but the "
+                    f"cluster has servers 0..{num_servers - 1}"
+                )
+            rng = np.random.default_rng([self.seed, index])
+            timeline = timelines.setdefault(model.server, ServerTimeline())
+            model.apply(timeline, rng)
+        return {server: tl.build() for server, tl in sorted(timelines.items())}
+
+    def attach(self, pfs: "HybridPFS") -> "FaultPlan":
+        """Compile and install the plan on ``pfs``'s servers.
+
+        Servers the plan does not mention get ``faults = None`` (any
+        previously attached plan is cleared).  Returns ``self`` for
+        chaining.
+        """
+        states = self.compile(len(pfs.servers))
+        for srv in pfs.servers:
+            srv.faults = states.get(srv.index)
+        return self
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-compatible representation."""
+        return {
+            "seed": self.seed,
+            "faults": [model_to_dict(model) for model in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        faults: Sequence[Any] = payload.get("faults", [])
+        return cls(
+            faults=tuple(model_from_dict(item) for item in faults),
+            seed=int(payload.get("seed", DEFAULT_FAULT_SEED)),
+        )
+
+    def describe(self) -> str:
+        """One line per model, for CLI output."""
+        if not self.faults:
+            return "fault plan: (healthy)"
+        lines = [f"fault plan (seed={self.seed}):"]
+        for model in self.faults:
+            params = ", ".join(
+                f"{key}={value}"
+                for key, value in model_to_dict(model).items()
+                if key not in ("kind", "server")
+            )
+            lines.append(f"  server {model.server}: {model.kind} ({params})")
+        return "\n".join(lines)

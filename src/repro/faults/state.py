@@ -1,0 +1,246 @@
+"""Compiled per-server fault state: the replay engines' fault hot path.
+
+A :class:`~repro.faults.plan.FaultPlan` compiles each server's declared
+faults into one :class:`ServerFaultState` holding three timeline
+structures plus optional write-cliff state:
+
+* **outages** — merged disjoint ``[start, end)`` blackout spans.  A
+  sub-request whose service would start inside a span is deferred to
+  the span's end (the server is down; its queue keeps building behind
+  the deferred request, which is exactly what a crashed server does to
+  clients that keep issuing).
+* **segments** — disjoint ``[start, end)`` dilation windows, each with
+  a multiplicative service-time factor (transient slowdowns compose by
+  factor product where they overlap; rebuild phases after an outage
+  contribute one window each).
+* **scrubs** — periodic dilations, evaluated analytically: the factor
+  applies while ``(t - phase) % period < duty``.
+* **cliff** — SSD write-cliff bookkeeping (bytes written since the
+  last long-enough idle gap; once past the device cache capacity,
+  writes dilate).
+
+The lookup has a reference path (:meth:`ServerFaultState.adjust`,
+bisect per call) and a flat twin (:meth:`~ServerFaultState.adjust_flat`)
+registered via :func:`~repro.contracts.twin_of`: per-server service
+starts are non-decreasing in both replay engines (FIFO queue-tail
+arithmetic), so the twin advances monotone cursors instead of
+bisecting — amortized O(1) per sub-request.  Both paths compute the
+final factor with the *same* helper in the same multiplication order,
+so every float they produce is bit-identical.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..contracts import twin_of
+from ..devices.base import OpType
+
+__all__ = [
+    "CliffState",
+    "Scrub",
+    "ServerFaultState",
+    "Window",
+    "flatten_windows",
+    "merge_outages",
+]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One finite service-time dilation: ``factor`` in ``[start, end)``."""
+
+    start: float
+    end: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class Scrub:
+    """A periodic dilation (background scrub/patrol-read pass): the
+    factor applies while ``(t - phase) % period < duty`` seconds."""
+
+    period: float
+    duty: float
+    factor: float
+    phase: float = 0.0
+
+
+@dataclass
+class CliffState:
+    """SSD write-cliff bookkeeping.
+
+    ``written`` accumulates write bytes; once it exceeds
+    ``capacity_bytes`` (the device's fast cache / clean-block reserve),
+    writes dilate by ``factor``.  An idle gap of at least
+    ``recovery_idle`` seconds between consecutive services lets the
+    device garbage-collect and resets the counter.
+    """
+
+    capacity_bytes: int
+    factor: float
+    recovery_idle: float
+    written: int = 0
+
+
+def merge_outages(spans: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Sort ``[start, end)`` spans and merge overlapping/touching ones."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(spans):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def flatten_windows(windows: Iterable[Window]) -> list[Window]:
+    """Flatten possibly-overlapping windows into disjoint segments.
+
+    Where windows overlap their factors *compose* (multiply) — two
+    concurrent degradations both slow the server.  The product is taken
+    in ``(start, end, factor)`` sort order so compilation is
+    deterministic regardless of declaration order.  Gaps (no covering
+    window) produce no segment.
+    """
+    ordered = sorted(
+        (w for w in windows if w.end > w.start),
+        key=lambda w: (w.start, w.end, w.factor),
+    )
+    points = sorted({w.start for w in ordered} | {w.end for w in ordered})
+    segments: list[Window] = []
+    for a, b in zip(points, points[1:]):
+        factor = 1.0
+        covering = 0
+        for w in ordered:
+            if w.start <= a and b <= w.end:
+                factor *= w.factor
+                covering += 1
+        if covering:
+            segments.append(Window(a, b, factor))
+    return segments
+
+
+class ServerFaultState:
+    """One server's compiled fault timeline (see module docstring).
+
+    Instances are built by :meth:`repro.faults.plan.FaultPlan.compile`
+    and attached to :class:`~repro.pfs.server.DataServer` as
+    ``server.faults``; the server consults :meth:`adjust` (event
+    engine) or :meth:`adjust_flat` (flat kernel) per sub-request.
+    """
+
+    def __init__(
+        self,
+        windows: Iterable[Window] = (),
+        outages: Iterable[tuple[float, float]] = (),
+        scrubs: Sequence[Scrub] = (),
+        cliff: CliffState | None = None,
+    ) -> None:
+        self._segments = flatten_windows(windows)
+        self._segment_starts = [seg.start for seg in self._segments]
+        self._outages = merge_outages(outages)
+        self._outage_starts = [span[0] for span in self._outages]
+        self._scrubs = tuple(scrubs)
+        self.cliff = cliff
+        # monotone cursors for adjust_flat; reset whenever a query
+        # regresses so arbitrary call sequences stay correct
+        self._outage_cursor = 0
+        self._segment_cursor = 0
+        self._last_candidate = float("-inf")
+        self._last_start = float("-inf")
+
+    def _factor_at(
+        self,
+        op: OpType,
+        length: int,
+        start: float,
+        prev_tail: float,
+        segment: Window | None,
+    ) -> float:
+        """Compose the duration factor at ``start`` — shared by both
+        lookup paths so the multiplication order (segment, scrubs in
+        declaration order, cliff) is identical bit for bit."""
+        factor = 1.0
+        if segment is not None:
+            factor *= segment.factor
+        for scrub in self._scrubs:
+            if (start - scrub.phase) % scrub.period < scrub.duty:
+                factor *= scrub.factor
+        cliff = self.cliff
+        if cliff is not None:
+            if start - prev_tail >= cliff.recovery_idle:
+                cliff.written = 0
+            if op == "write":
+                cliff.written += length
+                if cliff.written > cliff.capacity_bytes:
+                    factor *= cliff.factor
+        return factor
+
+    def adjust(
+        self, op: OpType, length: int, candidate: float, prev_tail: float
+    ) -> tuple[float, float]:
+        """Reference lookup: ``(service_start, duration_factor)`` for a
+        sub-request that would otherwise start at ``candidate``.
+
+        ``prev_tail`` is the server queue's tail *before* this
+        submission — the previous service's finish time — used for the
+        write-cliff idle-gap recovery test.  Service that would begin
+        inside an outage is deferred to the outage's end; the factor is
+        evaluated at the (possibly deferred) start.
+        """
+        start = candidate
+        i = bisect_right(self._outage_starts, candidate) - 1
+        if i >= 0 and candidate < self._outages[i][1]:
+            start = self._outages[i][1]
+        segment = None
+        j = bisect_right(self._segment_starts, start) - 1
+        if j >= 0 and start < self._segments[j].end:
+            segment = self._segments[j]
+        return start, self._factor_at(op, length, start, prev_tail, segment)
+
+    @twin_of(
+        "repro.faults.state:ServerFaultState.adjust",
+        harness="fault_adjust",
+    )
+    def adjust_flat(
+        self, op: OpType, length: int, candidate: float, prev_tail: float
+    ) -> tuple[float, float]:
+        """Cursor twin of :meth:`adjust` for the flat replay kernel.
+
+        Per-server candidates are non-decreasing under FIFO queue-tail
+        arithmetic, so interval lookup is an amortized O(1) cursor
+        advance instead of a bisect; a regressing query resets the
+        cursors, keeping arbitrary sequences correct.  Returns the
+        same floats as :meth:`adjust`, bit for bit.
+        """
+        if candidate < self._last_candidate:
+            self._outage_cursor = 0
+        self._last_candidate = candidate
+        outages = self._outages
+        i = self._outage_cursor
+        n = len(outages)
+        while i < n and outages[i][1] <= candidate:
+            i += 1
+        self._outage_cursor = i
+        start = candidate
+        if i < n and outages[i][0] <= candidate:
+            start = outages[i][1]
+        if start < self._last_start:
+            self._segment_cursor = 0
+        self._last_start = start
+        segments = self._segments
+        j = self._segment_cursor
+        m = len(segments)
+        while j < m and segments[j].end <= start:
+            j += 1
+        self._segment_cursor = j
+        segment = None
+        if j < m and segments[j].start <= start:
+            segment = segments[j]
+        return start, self._factor_at(op, length, start, prev_tail, segment)

@@ -1,5 +1,6 @@
 """Benchmark harness: experiments, figure reproductions, reporting."""
 
+from .chaos import ChaosReport, chaos_experiment, chaos_fault_plan, chaos_trace
 from .experiment import Comparison, SchemeRun, compare_schemes, run_scheme
 from .figures import (
     ALL_FIGURES,
@@ -18,6 +19,10 @@ from .report import FigureResult, bandwidth_mib, format_bars, format_table
 from .sweep import SweepPoint, sweep
 
 __all__ = [
+    "ChaosReport",
+    "chaos_experiment",
+    "chaos_fault_plan",
+    "chaos_trace",
     "Comparison",
     "SchemeRun",
     "compare_schemes",

@@ -4,7 +4,8 @@
 script) prints the reproduced rows of the requested figure; ``all``
 runs the whole evaluation section.  ``python -m repro.harness online``
 runs the closed-loop phase-shift experiment of :mod:`repro.online`
-instead of a figure.
+instead of a figure, and ``python -m repro.harness chaos`` runs the
+fault-intensity × scheme sweep of :mod:`repro.harness.chaos`.
 """
 
 from __future__ import annotations
@@ -86,11 +87,100 @@ def _online_main(argv: list[str]) -> int:
     return 0
 
 
+def _chaos_main(argv: list[str]) -> int:
+    """The ``chaos`` subcommand: fault-intensity × scheme sweep."""
+    from ..config import DEFAULT_FAULT_SEED
+    from .chaos import (
+        CHAOS_MODEL_NAMES,
+        CHAOS_SCHEMES,
+        DEFAULT_CHAOS_INTENSITIES,
+        chaos_experiment,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness chaos",
+        description=(
+            "Sweep fault intensity across schemes and report aggregate "
+            "bandwidth plus p50/p95/p99/p999 request-latency tails. "
+            "The sweep is fully deterministic; --digest prints only a "
+            "SHA-256 of the full-precision results, which CI compares "
+            "across runs."
+        ),
+    )
+    parser.add_argument(
+        "--models",
+        default="slowdown,scrub",
+        help=f"comma-separated fault models from {','.join(CHAOS_MODEL_NAMES)}",
+    )
+    parser.add_argument(
+        "--intensities",
+        default=",".join(f"{i:g}" for i in DEFAULT_CHAOS_INTENSITIES),
+        help="comma-separated fault intensities in [0, 1]",
+    )
+    parser.add_argument(
+        "--schemes",
+        default=",".join(CHAOS_SCHEMES),
+        help="comma-separated schemes (registry names)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_FAULT_SEED, help="fault-plan seed"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=30.0,
+        help="seconds of simulated time randomized faults may land in",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("flat", "event"),
+        default=None,
+        help="replay engine (feedback schemes fall back to event)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per intensity (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--digest",
+        action="store_true",
+        help="print only the report's SHA-256 digest (for CI comparison)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    report = chaos_experiment(
+        intensities=tuple(
+            float(i.strip()) for i in args.intensities.split(",") if i.strip()
+        ),
+        schemes=tuple(
+            s.strip().upper() for s in args.schemes.split(",") if s.strip()
+        ),
+        models=tuple(m.strip() for m in args.models.split(",") if m.strip()),
+        seed=args.seed,
+        horizon=args.horizon,
+        engine=args.engine,
+        n_jobs=args.jobs if args.jobs is not None else 1,
+    )
+    elapsed = time.perf_counter() - started
+    if args.digest:
+        print(report.digest())
+        return 0
+    print(report.describe())
+    print(f"\ndigest: {report.digest()}")
+    print(f"  ({elapsed:.1f}s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "online":
         return _online_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description="Reproduce the MHA paper's evaluation figures.",

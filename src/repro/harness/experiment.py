@@ -11,6 +11,7 @@ list of schemes, sharing one trace so the comparison is paired.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..cluster import ClusterSpec
 from ..core.parallel import parallel_map
@@ -18,6 +19,9 @@ from ..pfs.replay import RunMetrics, run_workload
 from ..schemes.registry import make_scheme, scheme_names
 from ..tracing.record import Trace
 from ..units import MiB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.plan import FaultPlan
 
 __all__ = ["SchemeRun", "Comparison", "run_scheme", "compare_schemes"]
 
@@ -69,27 +73,49 @@ def run_scheme(
     *,
     scheme_kwargs: dict | None = None,
     engine: str | None = None,
+    fault_plan: "FaultPlan | None" = None,
+    keep_latencies: bool = False,
 ) -> SchemeRun:
     """Build scheme ``name`` from ``profile_trace`` and replay.
 
     ``replay_trace_`` defaults to the profile trace (the paper's
     "subsequent runs" repeat the profiled pattern); pass a different
     trace to study mispredicted patterns.  ``engine`` picks the replay
-    engine (see :func:`repro.pfs.replay.replay_trace`).
+    engine (see :func:`repro.pfs.replay.replay_trace`).  ``fault_plan``
+    injects a seeded fault schedule into the replayed cluster (the
+    chaos harness's knob); ``keep_latencies`` records per-request and
+    per-server latency samples so tail percentiles can be reported.
     """
     scheme = make_scheme(name, **(scheme_kwargs or {}))
     view = scheme.build(spec, profile_trace)
     replay = replay_trace_ if replay_trace_ is not None else profile_trace
-    metrics = run_workload(spec, view, replay, engine=engine)
+    metrics = run_workload(
+        spec,
+        view,
+        replay,
+        engine=engine,
+        fault_plan=fault_plan,
+        keep_latencies=keep_latencies,
+    )
     return SchemeRun(scheme=name, metrics=metrics)
 
 
 def _scheme_task(
-    task: tuple[str, ClusterSpec, Trace, dict | None, str | None],
+    task: tuple[
+        str, ClusterSpec, Trace, dict | None, str | None, "FaultPlan | None", bool
+    ],
 ) -> SchemeRun:
     """Module-level (picklable) task body for the scheme fan-out."""
-    name, spec, trace, kwargs, engine = task
-    return run_scheme(name, spec, trace, scheme_kwargs=kwargs, engine=engine)
+    name, spec, trace, kwargs, engine, fault_plan, keep_latencies = task
+    return run_scheme(
+        name,
+        spec,
+        trace,
+        scheme_kwargs=kwargs,
+        engine=engine,
+        fault_plan=fault_plan,
+        keep_latencies=keep_latencies,
+    )
 
 
 def compare_schemes(
@@ -101,6 +127,8 @@ def compare_schemes(
     scheme_kwargs: dict[str, dict] | None = None,
     engine: str | None = None,
     n_jobs: int | None = 1,
+    fault_plan: "FaultPlan | None" = None,
+    keep_latencies: bool = False,
 ) -> Comparison:
     """Run every scheme on one workload trace; returns paired results.
 
@@ -108,11 +136,17 @@ def compare_schemes(
     ``n_jobs`` > 1 fans them out across processes via
     :func:`repro.core.parallel.parallel_map`; the default of 1 stays
     serial (pass ``None`` to defer to ``REPRO_JOBS``/CPU count).
+    ``fault_plan`` applies the same seeded fault schedule to every
+    scheme's replay (plans are frozen dataclasses, so they pickle to
+    worker processes and compile identically there); together with
+    ``keep_latencies`` this is the chaos harness's paired-comparison
+    primitive.
     """
     schemes = schemes if schemes is not None else scheme_names()
     scheme_kwargs = scheme_kwargs or {}
     tasks = [
-        (name, spec, trace, scheme_kwargs.get(name), engine) for name in schemes
+        (name, spec, trace, scheme_kwargs.get(name), engine, fault_plan, keep_latencies)
+        for name in schemes
     ]
     runs = parallel_map(
         _scheme_task,

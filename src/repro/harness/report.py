@@ -13,12 +13,18 @@ from ..units import MiB
 
 __all__ = [
     "FigureResult",
+    "TAIL_QUANTILES",
     "format_table",
     "format_bars",
     "to_csv",
     "from_csv",
     "bandwidth_mib",
+    "latency_ms",
+    "quantile_label",
 ]
+
+#: the tail-latency quantiles chaos reports tabulate, in display order
+TAIL_QUANTILES: tuple[float, ...] = (50.0, 95.0, 99.0, 99.9)
 
 
 @dataclass
@@ -147,3 +153,19 @@ def from_csv(text: str, figure: str = "csv", title: str = "") -> FigureResult:
 def bandwidth_mib(bytes_per_second: float) -> float:
     """Bytes/s -> MiB/s (figure unit)."""
     return bytes_per_second / MiB
+
+
+def latency_ms(seconds: float) -> float:
+    """Seconds -> milliseconds (tail-latency figure unit)."""
+    return seconds * 1000.0
+
+
+def quantile_label(q: float) -> str:
+    """Conventional percentile column name: 50 -> "p50", 99.9 -> "p999".
+
+    The decimal point is dropped, not rounded — the digits of ``q``
+    become the label (the standard tail-latency naming where "p999"
+    means the 99.9th percentile).
+    """
+    text = f"{q:g}".replace(".", "")
+    return f"p{text}"

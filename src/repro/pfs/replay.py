@@ -24,7 +24,14 @@ Two engines produce the same replay:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterator,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..cluster import ClusterSpec
 from ..config import DEFAULT_REPLAY_ENGINE
@@ -34,6 +41,9 @@ from ..tracing.collector import IOCollector
 from ..tracing.record import Trace, TraceRecord
 from .flat import replay_flat
 from .system import HybridPFS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.plan import FaultPlan
 
 __all__ = ["FileView", "RunMetrics", "replay_trace", "run_workload"]
 
@@ -59,11 +69,19 @@ class RunMetrics:
     read_bytes: int
     write_bytes: int
     latencies: list[float] = field(default_factory=list)
+    #: per-server sub-request service latencies (finish - submit), by
+    #: cluster index; populated only when the replay kept latencies —
+    #: the per-server tail columns of the chaos reports read these
+    per_server_latencies: list[list[float]] = field(default_factory=list)
     # cached ascending view of ``latencies`` for percentile queries;
     # rebuilt when the list length changes, droppable explicitly via
     # :meth:`invalidate_latency_cache` after in-place mutation
     _sorted_latencies: list[float] | None = field(
         default=None, init=False, repr=False, compare=False
+    )
+    # same caching discipline, per server index
+    _sorted_server_latencies: dict[int, list[float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
     )
 
     @property
@@ -80,9 +98,11 @@ class RunMetrics:
         return sum(self.latencies) / len(self.latencies)
 
     def invalidate_latency_cache(self) -> None:
-        """Drop the sorted-latency cache (call after mutating
-        ``latencies`` in place without changing its length)."""
+        """Drop the sorted-latency caches (call after mutating
+        ``latencies``/``per_server_latencies`` in place without
+        changing their lengths)."""
         self._sorted_latencies = None
+        self._sorted_server_latencies.clear()
 
     def _sorted_view(self) -> list[float]:
         cached = self._sorted_latencies
@@ -107,15 +127,51 @@ class RunMetrics:
         rank = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
         return ordered[rank]
 
+    def server_latency_percentile(self, server: int, q: float) -> float:
+        """Per-server sub-request latency percentile (``q`` in [0, 100]).
+
+        ``server`` is the cluster index.  Requires the replay to have
+        kept latencies; returns 0.0 when the server saw no traffic (or
+        none were kept).  Sorted views are cached per server, the same
+        discipline as :meth:`latency_percentile`.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not 0 <= server < len(self.per_server_latencies):
+            if not self.per_server_latencies:
+                return 0.0
+            raise IndexError(
+                f"server {server} out of range 0..{len(self.per_server_latencies) - 1}"
+            )
+        raw = self.per_server_latencies[server]
+        if not raw:
+            return 0.0
+        cached = self._sorted_server_latencies.get(server)
+        if cached is None or len(cached) != len(raw):
+            cached = sorted(raw)
+            self._sorted_server_latencies[server] = cached
+        rank = min(len(cached) - 1, int(round(q / 100 * (len(cached) - 1))))
+        return cached[rank]
+
     @property
     def p50_latency(self) -> float:
         """Median request latency (0.0 unless latencies were kept)."""
         return self.latency_percentile(50)
 
     @property
+    def p95_latency(self) -> float:
+        """95th-percentile request latency (0.0 unless kept)."""
+        return self.latency_percentile(95)
+
+    @property
     def p99_latency(self) -> float:
         """99th-percentile request latency (tail; 0.0 unless kept)."""
         return self.latency_percentile(99)
+
+    @property
+    def p999_latency(self) -> float:
+        """99.9th-percentile request latency (0.0 unless kept)."""
+        return self.latency_percentile(99.9)
 
     def load_imbalance(self) -> float:
         """Max/min per-server I/O time over servers that did any work.
@@ -168,6 +224,12 @@ def _replay_event(
     sim = pfs.sim
     start_time = sim.now
     latencies: list[float] = []
+    # optional view protocols: op-aware dispatch (a dispatcher that
+    # treats writes and reads differently and orders its own pre-merged
+    # runs, e.g. straggler-aware write redirection) and completion-time
+    # latency feedback
+    dispatch = getattr(view, "dispatch_request", None)
+    observer = getattr(view, "observe_latency", None)
     by_rank: dict[int, list[int]] = {}
     for i, record in enumerate(ordered):
         by_rank.setdefault(record.rank, []).append(i)
@@ -204,8 +266,16 @@ def _replay_event(
                     file=record.file,
                     timestamp=issued,
                 )
-            fragments = view.map_request(record.file, record.offset, record.size)
-            yield pfs.issue(record.op, fragments, rank=record.rank)
+            if dispatch is not None:
+                runs = dispatch(record.op, record.file, record.offset, record.size)
+                yield pfs.issue_merged(
+                    record.op, runs, rank=record.rank, observer=observer
+                )
+            else:
+                fragments = view.map_request(record.file, record.offset, record.size)
+                yield pfs.issue(
+                    record.op, fragments, rank=record.rank, observer=observer
+                )
             if use_barrier:
                 record_complete(phases[i])
             if keep_latencies:
@@ -228,6 +298,7 @@ def replay_trace(
     on_record: Callable[[TraceRecord], None] | None = None,
     barrier_gap: float | None = None,
     engine: str | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> RunMetrics:
     """Replay ``trace`` against ``pfs`` through ``view``.
 
@@ -257,14 +328,28 @@ def replay_trace(
     flat kernel requires a pure replay — it is skipped, falling back to
     the event engine, when an ``on_record``/``collector`` hook is set,
     when the simulator already has pending events (e.g. background
-    migrations in flight), or when any server queue has more than one
-    channel.
+    migrations in flight), when any server queue has more than one
+    channel, or when the view declares ``requires_event_engine`` (a
+    feedback dispatcher — e.g. the straggler-aware view — whose mapping
+    depends on completion-time observations the flat kernel's pre-pass
+    cannot provide).
+
+    ``fault_plan`` attaches a compiled
+    :class:`~repro.faults.plan.FaultPlan` to ``pfs`` before the replay
+    (``None`` leaves whatever is already attached untouched).  Faults
+    only defer/dilate service — both engines consult the same compiled
+    timelines and stay bit-identical.
     """
     if engine is None:
         engine = DEFAULT_REPLAY_ENGINE
     if engine not in ("flat", "event"):
         raise ValueError(f"unknown replay engine {engine!r}")
+    if fault_plan is not None:
+        fault_plan.attach(pfs)
     pfs.reset_stats()
+    if keep_latencies:
+        for srv in pfs.servers:
+            srv.latency_log = []
     sim = pfs.sim
     start_time = sim.now
     ordered = trace.sorted_by_time()
@@ -277,6 +362,7 @@ def replay_trace(
         and on_record is None
         and collector is None
         and sim.pending() == 0
+        and not getattr(view, "requires_event_engine", False)
         and all(srv.channel.capacity == 1 for srv in pfs.servers)
     )
     if use_flat:
@@ -302,6 +388,12 @@ def replay_trace(
 
     read_bytes = sum(r.size for r in trace if r.op == "read")
     write_bytes = sum(r.size for r in trace if r.op == "write")
+    per_server_latencies: list[list[float]] = []
+    if keep_latencies:
+        per_server_latencies = [
+            srv.latency_log if srv.latency_log is not None else []
+            for srv in pfs.servers
+        ]
     return RunMetrics(
         makespan=foreground_end - start_time,
         total_bytes=trace.total_bytes(),
@@ -311,6 +403,7 @@ def replay_trace(
         read_bytes=read_bytes,
         write_bytes=write_bytes,
         latencies=latencies,
+        per_server_latencies=per_server_latencies,
     )
 
 
@@ -321,7 +414,15 @@ def run_workload(
     *,
     keep_latencies: bool = False,
     engine: str | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> RunMetrics:
     """Convenience: fresh simulator + PFS, one replay, return metrics."""
     pfs = HybridPFS(spec)
-    return replay_trace(pfs, view, trace, keep_latencies=keep_latencies, engine=engine)
+    return replay_trace(
+        pfs,
+        view,
+        trace,
+        keep_latencies=keep_latencies,
+        engine=engine,
+        fault_plan=fault_plan,
+    )

@@ -23,11 +23,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..contracts import twin_of
 from ..devices.base import Device, OpType
 from ..network.link import Link
 from ..simulate import Completion, FIFOResource, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.state import ServerFaultState
 
 __all__ = ["DataServer", "ServerStats"]
 
@@ -88,6 +92,14 @@ class DataServer:
         #: service-time multiplier for fault/straggler injection: 1.0 is
         #: healthy, 2.0 services everything at half speed, etc.
         self.slowdown = 1.0
+        #: compiled fault timeline (:class:`repro.faults.state.ServerFaultState`),
+        #: installed by :meth:`repro.faults.plan.FaultPlan.attach`; ``None``
+        #: is a healthy server and costs one attribute check per submit
+        self.faults: ServerFaultState | None = None
+        #: per-sub-request service latencies (finish - submit time); a
+        #: replay with ``keep_latencies=True`` installs a fresh list and
+        #: harvests it into the run metrics, ``None`` disables logging
+        self.latency_log: list[float] | None = None
         # stream tails: (obj, next_offset) -> None, in LRU order
         self._streams: OrderedDict[tuple[str, int], None] = OrderedDict()
 
@@ -118,11 +130,27 @@ class DataServer:
             raise ValueError(f"slowdown must be > 0, got {self.slowdown}")
         sequential = self._check_sequential(obj, offset, length)
         startup = self.device.startup_time(op, sequential) / self.device.channels
-        duration = self.slowdown * (
+        base = (
             startup
             + self.device.transfer_time(op, length)
             + self.link.transfer_time(length)
         )
+        faults = self.faults
+        if faults is None:
+            duration = self.slowdown * base
+        else:
+            # the service start is fully determined at submission (FIFO
+            # queue-tail arithmetic), so the fault timeline is consulted
+            # synchronously: outages defer the start, dilations scale the
+            # duration.  ``not_before=start`` reproduces the deferred
+            # start exactly inside ``channel.schedule``'s own max().
+            now = self.sim.now
+            tail = min(self.channel._tails)
+            start, factor = faults.adjust(
+                op, length, max(now, not_before, tail), tail
+            )
+            duration = self.slowdown * (factor * base)
+            not_before = start
         tag = (op, obj, offset, length)
         if sequential:
             self.stats.sequential_hits += 1
@@ -133,7 +161,9 @@ class DataServer:
             self.stats.bytes_read += length
         else:
             self.stats.bytes_written += length
-        _, done = self.channel.schedule(duration, not_before=not_before, tag=tag)
+        record, done = self.channel.schedule(duration, not_before=not_before, tag=tag)
+        if self.latency_log is not None:
+            self.latency_log.append(record.finish - self.sim.now)
         return done
 
     @twin_of(
@@ -162,7 +192,7 @@ class DataServer:
             raise ValueError(f"slowdown must be > 0, got {self.slowdown}")
         sequential = self._check_sequential(obj, offset, length)
         startup = self.device.startup_time(op, sequential) / self.device.channels
-        duration = self.slowdown * (
+        base = (
             startup
             + self.device.transfer_time(op, length)
             + self.link.transfer_time(length)
@@ -178,19 +208,42 @@ class DataServer:
         else:
             stats.bytes_written += length
         channel = self.channel
+        faults = self.faults
         if channel.capacity == 1 and not channel.keep_records:
             # single-channel fast path: same arithmetic as schedule_flat,
             # minus the call, channel scan, and tag allocation
             tails = channel._tails
-            start = max(now, not_before, tails[0])
+            tail = tails[0]
+            if faults is None:
+                duration = self.slowdown * base
+                start = max(now, not_before, tail)
+            else:
+                start, factor = faults.adjust_flat(
+                    op, length, max(now, not_before, tail), tail
+                )
+                duration = self.slowdown * (factor * base)
             finish = start + duration
             tails[0] = finish
             channel.busy_time += duration
             channel.served += 1
+            if self.latency_log is not None:
+                self.latency_log.append(finish - now)
             return finish
-        return channel.schedule_flat(
+        if faults is None:
+            duration = self.slowdown * base
+        else:
+            tail = min(channel._tails)
+            start, factor = faults.adjust_flat(
+                op, length, max(now, not_before, tail), tail
+            )
+            duration = self.slowdown * (factor * base)
+            not_before = start
+        finish = channel.schedule_flat(
             now, duration, not_before=not_before, tag=(op, obj, offset, length)
         )
+        if self.latency_log is not None:
+            self.latency_log.append(finish - now)
+        return finish
 
     @property
     def busy_time(self) -> float:
@@ -200,3 +253,4 @@ class DataServer:
     def reset_stats(self) -> None:
         self.stats = ServerStats()
         self.channel.reset_stats()
+        self.latency_log = None

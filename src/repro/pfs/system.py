@@ -10,7 +10,7 @@ the defining latency semantics of striped parallel I/O.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..cluster import ClusterSpec
 from ..contracts import twin_of
@@ -22,7 +22,26 @@ from ..simulate import Completion, FIFOResource, Simulator
 from .mds import MetaDataServer
 from .server import DataServer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulate.resources import ServiceRecord
+
 __all__ = ["HybridPFS", "merge_fragments"]
+
+
+def _observation(
+    observer: Callable[[int, float, float], None], server: int
+) -> "Callable[[ServiceRecord], None]":
+    """A completion waiter reporting ``(server, latency, finish)``.
+
+    The fired value is the channel's ``ServiceRecord``; its ``arrival``
+    is the submission time, so ``finish - arrival`` is the client-side
+    sub-request latency (queueing + NIC wait + service).
+    """
+
+    def _fire(record: "ServiceRecord") -> None:
+        observer(server, record.finish - record.arrival, record.finish)
+
+    return _fire
 
 
 class HybridPFS:
@@ -59,7 +78,11 @@ class HybridPFS:
             ) from None
 
     def issue(
-        self, op: OpType, fragments: Sequence[SubRequest], rank: int | None = None
+        self,
+        op: OpType,
+        fragments: Sequence[SubRequest],
+        rank: int | None = None,
+        observer: Callable[[int, float, float], None] | None = None,
     ) -> Completion:
         """Issue one file request given its mapped fragments.
 
@@ -69,8 +92,32 @@ class HybridPFS:
         and ``rank`` is given, the issuing compute node's link first
         serializes the request's payload (ranks map round-robin onto
         the cluster's client nodes), so co-located ranks contend.
+
+        ``observer`` is the client-side latency feedback hook: it is
+        called as ``observer(server, latency, finish)`` once per merged
+        sub-request *when that sub-request completes* (so a dispatcher
+        only ever learns from the past — the straggler-aware view's
+        EWMAs update through this).
         """
-        merged = merge_fragments(fragments)
+        return self.issue_merged(
+            op, merge_fragments(fragments), rank=rank, observer=observer
+        )
+
+    def issue_merged(
+        self,
+        op: OpType,
+        merged: Sequence[SubRequest],
+        rank: int | None = None,
+        observer: Callable[[int, float, float], None] | None = None,
+    ) -> Completion:
+        """:meth:`issue` for runs that are already merged.
+
+        Dispatch-ordering views (``dispatch_request``) hand over runs in
+        their own issue order; :func:`merge_fragments` would re-sort
+        them by logical offset, so this entry point submits them
+        verbatim.  Callers must pass non-overlapping per-server runs —
+        exactly what ``merge_fragments`` (in any order) produces.
+        """
         if not merged:
             done = Completion()
             done.fire(None)
@@ -81,12 +128,14 @@ class HybridPFS:
             total = sum(f.length for f in merged)
             record, _ = node.schedule(self.spec.link.transfer_time(total))
             not_before = record.finish
-        completions = [
-            self.server(f.server).submit(
+        completions = []
+        for f in merged:
+            done = self.server(f.server).submit(
                 op, f.obj, f.offset, f.length, not_before=not_before
             )
-            for f in merged
-        ]
+            if observer is not None:
+                done.add_waiter(_observation(observer, f.server))
+            completions.append(done)
         return self.sim.all_of(completions)
 
     @twin_of(
@@ -99,6 +148,7 @@ class HybridPFS:
         op: OpType,
         fragments: Sequence[SubRequest],
         rank: int | None = None,
+        observer: Callable[[int, float, float], None] | None = None,
         now: float | None = None,
     ) -> float:
         """Event-free :meth:`issue`: the request's finish time, directly.
@@ -109,6 +159,12 @@ class HybridPFS:
         ``submit_flat``/``schedule_flat`` and the slowest finish time is
         returned.  ``now`` is the issue time (defaults to the sim
         clock); an empty request completes immediately at ``now``.
+
+        ``observer`` receives the same ``(server, latency, finish)``
+        observations as :meth:`issue`, but synchronously at submission
+        (finish times are already known); feedback dispatchers that
+        must not see the future set ``requires_event_engine`` on their
+        view instead, which routes their replays to the event engine.
         """
         if now is None:
             now = self.sim.now
@@ -127,6 +183,8 @@ class HybridPFS:
             done = self.server(f.server).submit_flat(
                 op, f.obj, f.offset, f.length, now, not_before=not_before
             )
+            if observer is not None:
+                observer(f.server, done - now, done)
             if done > finish:
                 finish = done
         return finish

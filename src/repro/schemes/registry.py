@@ -12,14 +12,24 @@ from .base import Scheme
 from .default import DEFScheme
 from .harl import HARLScheme
 from .mha import MHAScheme
+from .straggler import StragglerAwareScheme
 
 __all__ = ["SCHEMES", "make_scheme", "build_view", "scheme_names"]
+
+
+def _mha_saw(**kwargs) -> StragglerAwareScheme:
+    """The composed variant: straggler-aware dispatch over MHA's layout."""
+    return StragglerAwareScheme(base="MHA", **kwargs)
+
 
 SCHEMES: dict[str, Callable[..., Scheme]] = {
     "DEF": DEFScheme,
     "AAL": AALScheme,
     "HARL": HARLScheme,
     "MHA": MHAScheme,
+    "SAW": StragglerAwareScheme,
+    "STRAGGLER": StragglerAwareScheme,
+    "MHA+SAW": _mha_saw,
 }
 
 

@@ -1,0 +1,373 @@
+"""Straggler-aware dispatch: a client-side competitor/composition scheme.
+
+The paper's schemes assume servers are only *statically* heterogeneous
+(HDD vs SSD); the straggler literature (Tavakoli/Dai/Chen, PAPERS.md)
+adds the dynamic case — servers that are temporarily slow (GC pauses,
+scrubs, rebuilds, write cliffs).  :class:`StragglerAwareScheme` wraps
+any base scheme (DEF by default, MHA for the composed ``MHA+SAW``
+variant) with a client-side dispatcher that:
+
+* maintains a per-server **latency EWMA** (:class:`LatencyEWMA`) fed by
+  completion-time observations (the ``observe_latency`` hook the event
+  replay engine wires through ``HybridPFS.issue`` — a dispatcher only
+  ever learns from sub-requests that already finished);
+* classifies a server as a **straggler** when its estimate exceeds
+  ``threshold`` × the median estimate across sampled servers;
+* **redirects writes** away from stragglers into per-target overflow
+  objects, bounded by a byte budget (the "bounded replication" knob:
+  the redirected extent's authoritative replica lives on the chosen
+  healthy server; a :class:`~repro.core.drt.DRT` records the move so
+  later reads and re-writes are steered to it);
+* **reorders sub-request dispatch** slowest-server-first.  The replay
+  client issues a request's sub-requests at one simulated instant, so
+  this ordering cannot change finish times here (simultaneous issue
+  already subsumes the overlap benefit reordering buys a serial
+  client); it is kept as an explicit, observable dispatch policy — the
+  completion list and event order follow it.
+
+The view *requires the event engine*: its mapping depends on latency
+observations accumulated during the replay, which the flat kernel's
+pre-mapping pass cannot provide.  ``requires_event_engine = True``
+makes :func:`repro.pfs.replay.replay_trace` fall back automatically.
+"""
+
+from __future__ import annotations
+
+from ..cluster import ClusterSpec
+from ..core.drt import DRT, DRTEntry
+from ..exceptions import ConfigurationError
+from ..layouts.base import SubRequest
+from ..layouts.batch import merge_fragments
+from ..tracing.record import Trace
+from .base import Scheme
+
+__all__ = [
+    "DEFAULT_EWMA_ALPHA",
+    "DEFAULT_MIN_SAMPLES",
+    "DEFAULT_REPLICATION_FRACTION",
+    "DEFAULT_STRAGGLER_THRESHOLD",
+    "LatencyEWMA",
+    "StragglerAwareScheme",
+    "StragglerAwareView",
+]
+
+#: EWMA smoothing weight for new latency observations
+DEFAULT_EWMA_ALPHA = 0.3
+#: straggler test: estimate > threshold * median(estimates)
+DEFAULT_STRAGGLER_THRESHOLD = 1.5
+#: observations a server needs before it can be classified at all
+DEFAULT_MIN_SAMPLES = 4
+#: default write-redirection budget, as a fraction of the trace's bytes
+DEFAULT_REPLICATION_FRACTION = 0.5
+
+#: overflow objects are named per target server and can never collide
+#: with application file names (the replay namespace has no "~" files)
+_OVERFLOW_PREFIX = "~saw"
+
+
+class LatencyEWMA:
+    """Per-server latency estimates: EWMA update plus staleness decay.
+
+    ``observe`` folds a new sample in with weight ``alpha`` (the first
+    sample initializes the mean).  ``estimate`` optionally decays the
+    stored mean toward zero with half-life ``half_life`` seconds of
+    *silence* — a server nobody has heard from recently drifts back
+    toward "presumed healthy" and gets retried, which is what lets the
+    dispatcher notice a straggler recovering.  ``half_life=None``
+    disables decay.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        alpha: float = DEFAULT_EWMA_ALPHA,
+        half_life: float | None = None,
+    ) -> None:
+        if num_servers <= 0:
+            raise ConfigurationError("num_servers must be > 0")
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if half_life is not None and half_life <= 0:
+            raise ConfigurationError(f"half_life must be > 0, got {half_life}")
+        self.alpha = alpha
+        self.half_life = half_life
+        self._mean = [0.0] * num_servers
+        self._count = [0] * num_servers
+        self._stamp = [0.0] * num_servers
+
+    def __len__(self) -> int:
+        return len(self._mean)
+
+    def observe(self, server: int, latency: float, now: float) -> None:
+        """Fold one completed sub-request's latency into the estimate."""
+        if self._count[server] == 0:
+            self._mean[server] = latency
+        else:
+            self._mean[server] += self.alpha * (latency - self._mean[server])
+        self._count[server] += 1
+        if now > self._stamp[server]:
+            self._stamp[server] = now
+
+    def count(self, server: int) -> int:
+        """Observations folded into ``server``'s estimate so far."""
+        return self._count[server]
+
+    def estimate(self, server: int, now: float) -> float:
+        """The (possibly decayed) latency estimate at time ``now``."""
+        mean = self._mean[server]
+        if self.half_life is None:
+            return mean
+        age = now - self._stamp[server]
+        if age <= 0:
+            return mean
+        return mean * 0.5 ** (age / self.half_life)
+
+    def estimates(self, now: float) -> list[float]:
+        """All per-server estimates at time ``now``."""
+        return [self.estimate(server, now) for server in range(len(self._mean))]
+
+
+class StragglerAwareView:
+    """Runtime dispatcher wrapping a base scheme's file view.
+
+    See the module docstring for the policy.  The view exposes three
+    protocols the replay engine probes for:
+
+    * ``map_request`` — read-semantics mapping (follow existing
+      redirects, never create new ones); this is also what external
+      tools resolving the view see;
+    * ``dispatch_request(op, file, offset, length)`` — the op-aware
+      path the event replay uses: writes may be redirected away from
+      stragglers, and the returned runs are pre-merged and ordered
+      slowest-server-first (dispatch order);
+    * ``observe_latency(server, latency, finish)`` — completion-time
+      feedback updating the EWMAs.
+    """
+
+    #: replays through this view must use the event engine: mapping
+    #: decisions depend on completion-time feedback
+    requires_event_engine = True
+
+    def __init__(
+        self,
+        inner,
+        num_servers: int,
+        *,
+        replication_budget: int,
+        alpha: float = DEFAULT_EWMA_ALPHA,
+        half_life: float | None = None,
+        threshold: float = DEFAULT_STRAGGLER_THRESHOLD,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        if min_samples < 1:
+            raise ConfigurationError(f"min_samples must be >= 1, got {min_samples}")
+        if replication_budget < 0:
+            raise ConfigurationError("replication_budget must be >= 0")
+        self.inner = inner
+        self.ewma = LatencyEWMA(num_servers, alpha=alpha, half_life=half_life)
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.replication_budget = int(replication_budget)
+        #: bytes redirected so far (never exceeds the budget)
+        self.replicated_bytes = 0
+        #: count of redirected stripe fragments
+        self.redirected_fragments = 0
+        self._num_servers = num_servers
+        self._drt = DRT()
+        self._overflow_server: dict[str, int] = {}
+        self._overflow_cursor: dict[str, int] = {}
+        # latest completion time observed — "now" for estimate decay
+        self._now = 0.0
+
+    # -- feedback --------------------------------------------------------
+
+    def observe_latency(self, server: int, latency: float, finish: float) -> None:
+        """Completion-time hook wired through ``HybridPFS.issue``."""
+        if finish > self._now:
+            self._now = finish
+        self.ewma.observe(server, latency, finish)
+
+    # -- classification --------------------------------------------------
+
+    def stragglers(self) -> set[int]:
+        """Servers currently classified as stragglers.
+
+        A server qualifies once it has ``min_samples`` observations and
+        its estimate exceeds ``threshold`` × the median estimate over
+        all sampled servers (at least two servers must be sampled — a
+        lone estimate has nothing to be slow *relative to*).
+        """
+        sampled = [
+            server
+            for server in range(self._num_servers)
+            if self.ewma.count(server) >= self.min_samples
+        ]
+        if len(sampled) < 2:
+            return set()
+        estimates = {s: self.ewma.estimate(s, self._now) for s in sampled}
+        ordered = sorted(estimates.values())
+        median = ordered[(len(ordered) - 1) // 2]
+        if median <= 0:
+            return set()
+        cut = self.threshold * median
+        return {s for s in sampled if estimates[s] > cut}
+
+    def _pick_target(self, stragglers: set[int]) -> int | None:
+        """The healthy server with the lowest estimate (ties: lowest
+        index); ``None`` when every server is straggling."""
+        best: int | None = None
+        best_estimate = 0.0
+        for server in range(self._num_servers):
+            if server in stragglers:
+                continue
+            estimate = self.ewma.estimate(server, self._now)
+            if best is None or estimate < best_estimate:
+                best = server
+                best_estimate = estimate
+        return best
+
+    # -- mapping ---------------------------------------------------------
+
+    def _overflow_fragment(self, piece) -> SubRequest:
+        return SubRequest(
+            server=self._overflow_server[piece.file],
+            obj=piece.file,
+            offset=piece.offset,
+            length=piece.length,
+            logical_offset=piece.logical_offset,
+        )
+
+    def map_request(self, file: str, offset: int, length: int) -> list[SubRequest]:
+        """Read-semantics mapping: steer through existing redirects,
+        fall through to the base scheme elsewhere; never redirects."""
+        fragments: list[SubRequest] = []
+        for piece in self._drt.translate(file, offset, length):
+            if piece.mapped:
+                fragments.append(self._overflow_fragment(piece))
+            else:
+                fragments.extend(
+                    self.inner.map_request(file, piece.offset, piece.length)
+                )
+        return fragments
+
+    def _redirect(self, file: str, frag: SubRequest, target: int) -> SubRequest:
+        """Move one write fragment to ``target``'s overflow object and
+        record the relocation in the DRT."""
+        obj = f"{_OVERFLOW_PREFIX}{target}"
+        cursor = self._overflow_cursor.get(obj, 0)
+        self._drt.add(
+            DRTEntry(
+                o_file=file,
+                o_offset=frag.logical_offset,
+                length=frag.length,
+                r_file=obj,
+                r_offset=cursor,
+            )
+        )
+        self._overflow_server[obj] = target
+        self._overflow_cursor[obj] = cursor + frag.length
+        self.replicated_bytes += frag.length
+        self.redirected_fragments += 1
+        return SubRequest(
+            server=target,
+            obj=obj,
+            offset=cursor,
+            length=frag.length,
+            logical_offset=frag.logical_offset,
+        )
+
+    def dispatch_request(
+        self, op: str, file: str, offset: int, length: int
+    ) -> list[SubRequest]:
+        """Op-aware dispatch: merged runs, slowest-server-first.
+
+        Writes targeting a straggler are redirected to the healthiest
+        server while the replication budget lasts; reads (and writes
+        of already-redirected extents) are steered through the DRT.
+        """
+        if op != "write":
+            return self._ordered(merge_fragments(self.map_request(file, offset, length)))
+        stragglers = self.stragglers()
+        target = self._pick_target(stragglers) if stragglers else None
+        fragments: list[SubRequest] = []
+        for piece in self._drt.translate(file, offset, length):
+            if piece.mapped:
+                fragments.append(self._overflow_fragment(piece))
+                continue
+            for frag in self.inner.map_request(file, piece.offset, piece.length):
+                if (
+                    target is not None
+                    and frag.server in stragglers
+                    and self.replication_budget - self.replicated_bytes >= frag.length
+                ):
+                    fragments.append(self._redirect(file, frag, target))
+                else:
+                    fragments.append(frag)
+        return self._ordered(merge_fragments(fragments))
+
+    def _ordered(self, merged: list[SubRequest]) -> list[SubRequest]:
+        """Dispatch order: slowest estimated server first (stable, so
+        equal-estimate runs keep the merge's logical order)."""
+        if len(merged) < 2:
+            return merged
+        now = self._now
+        estimate = self.ewma.estimate
+        return sorted(merged, key=lambda f: -estimate(f.server, now))
+
+
+class StragglerAwareScheme(Scheme):
+    """Wrap a base scheme with the straggler-aware dispatcher.
+
+    ``base`` names any registered scheme ("DEF" by default; "MHA"
+    composes the dispatcher with the migratory layout — the registry's
+    ``MHA+SAW``).  The replication budget is
+    ``replication_fraction`` × the profile trace's total bytes.
+    """
+
+    name = "SAW"
+
+    def __init__(
+        self,
+        base: str = "DEF",
+        *,
+        alpha: float = DEFAULT_EWMA_ALPHA,
+        half_life: float | None = None,
+        threshold: float = DEFAULT_STRAGGLER_THRESHOLD,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        replication_fraction: float = DEFAULT_REPLICATION_FRACTION,
+        base_kwargs: dict | None = None,
+    ) -> None:
+        if replication_fraction < 0:
+            raise ConfigurationError(
+                f"replication_fraction must be >= 0, got {replication_fraction}"
+            )
+        self.base = base
+        self.alpha = alpha
+        self.half_life = half_life
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.replication_fraction = replication_fraction
+        self.base_kwargs = dict(base_kwargs or {})
+        upper = base.upper()
+        if upper != "DEF":
+            self.name = f"{upper}+SAW"
+
+    def build(self, spec: ClusterSpec, trace: Trace) -> StragglerAwareView:
+        from .registry import make_scheme  # lazy: registry imports this module
+
+        inner = make_scheme(self.base, **self.base_kwargs).build(spec, trace)
+        budget = int(self.replication_fraction * trace.total_bytes())
+        return StragglerAwareView(
+            inner,
+            spec.num_servers,
+            replication_budget=budget,
+            alpha=self.alpha,
+            half_life=self.half_life,
+            threshold=self.threshold,
+            min_samples=self.min_samples,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(base={self.base!r})"

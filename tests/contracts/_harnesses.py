@@ -28,6 +28,14 @@ from repro.core.cost_model import (
     burst_costs_grid,
 )
 from repro.core import CostModelParams
+from repro.faults import (
+    BackgroundScrub,
+    FaultPlan,
+    ServerOutage,
+    TransientSlowdown,
+    WriteCliff,
+)
+from repro.faults.state import CliffState, Scrub, ServerFaultState, Window
 from repro.layouts import FixedStripeLayout
 from repro.layouts.batch import merge_fragments
 from repro.layouts.extents import (
@@ -129,6 +137,75 @@ _sub_request_batches = st.lists(
 )
 
 
+# fault timelines: quarters keep every boundary exactly representable
+_fault_windows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # start * 4
+        st.integers(min_value=0, max_value=12),  # extra duration * 4
+        st.sampled_from([1.5, 2.0, 3.0]),  # dilation factor
+    ),
+    min_size=0,
+    max_size=4,
+)
+_fault_outages = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # start * 4
+        st.integers(min_value=1, max_value=12),  # duration * 4
+    ),
+    min_size=0,
+    max_size=3,
+)
+_fault_scrubs = st.lists(
+    st.tuples(
+        st.integers(min_value=4, max_value=40),  # period * 4
+        st.integers(min_value=0, max_value=40),  # duty * 4 (clamped to period)
+        st.sampled_from([1.5, 2.5]),
+        st.integers(min_value=0, max_value=8),  # phase * 4
+    ),
+    min_size=0,
+    max_size=2,
+)
+_fault_cliffs = st.none() | st.tuples(
+    st.integers(min_value=1, max_value=8),  # capacity in 8 KiB units
+    st.sampled_from([2.0, 4.0]),
+    st.integers(min_value=1, max_value=8),  # recovery idle * 4
+)
+# (op, length/8KiB, candidate*4, tail lag*4): candidates need NOT be
+# monotone — the flat twin must survive out-of-order probes too
+_fault_queries = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write"]),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=80),
+        st.integers(min_value=0, max_value=80),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+#: a fixed four-mechanism plan for the faulted replay harness
+#: (servers 0-3 exist in every spec that harness builds)
+_FAULT_PLAN = FaultPlan(
+    faults=(
+        TransientSlowdown(server=0, factor=3.0, windows=3, mean_duration=1.0, horizon=8.0),
+        ServerOutage(server=1, at=0.5, duration=1.0, rebuild_duration=2.0, rebuild_factor=2.0),
+        BackgroundScrub(server=2, period=2.0, duty=0.5, factor=1.5),
+        WriteCliff(server=3, capacity_bytes=64 * KiB, factor=2.0, recovery_idle=0.5),
+    )
+)
+
+#: every mechanism stacked on one server, for the single-server
+#: submit harness
+_SERVER_FAULT_PLAN = FaultPlan(
+    faults=(
+        TransientSlowdown(server=0, factor=3.0, windows=3, mean_duration=1.0, horizon=8.0),
+        ServerOutage(server=0, at=0.5, duration=1.0, rebuild_duration=2.0, rebuild_factor=2.0),
+        BackgroundScrub(server=0, period=2.0, duty=0.5, factor=1.5),
+        WriteCliff(server=0, capacity_bytes=64 * KiB, factor=2.0, recovery_idle=0.5),
+    )
+)
+
+
 def _random_region(rng, max_len=1 << 18):
     K = int(rng.integers(1, 48))
     offsets = rng.integers(0, 1 << 21, K)
@@ -150,9 +227,11 @@ def _candidate_grid(rng, G=16):
 
 @harness("replay")
 def _replay(contract):
-    @given(raw=_trace_shapes, nics=st.booleans(), gap=st.booleans())
+    @given(
+        raw=_trace_shapes, nics=st.booleans(), gap=st.booleans(), faulted=st.booleans()
+    )
     @settings(max_examples=15, deadline=None)
-    def test(raw, nics, gap):
+    def test(raw, nics, gap, faulted):
         spec = ClusterSpec(num_hservers=2, num_sservers=2, model_client_nics=nics)
         trace = Trace(
             [
@@ -180,11 +259,13 @@ def _replay(contract):
                 engine=engine,
                 keep_latencies=True,
                 barrier_gap=5.0 if gap else None,
+                fault_plan=_FAULT_PLAN if faulted else None,
             )
             runs[engine] = (metrics, pfs)
         (em, epfs), (fm, fpfs) = runs["event"], runs["flat"]
         assert fm.makespan == em.makespan
         assert fm.latencies == em.latencies
+        assert fm.per_server_latencies == em.per_server_latencies
         assert fm.per_server_busy == em.per_server_busy
         assert fm.per_server_bytes == em.per_server_bytes
         assert fm.total_bytes == em.total_bytes
@@ -192,6 +273,54 @@ def _replay(contract):
         for fsrv, esrv in zip(fpfs.servers, epfs.servers):
             assert fsrv.stats == esrv.stats
         assert fpfs.sim.now == epfs.sim.now
+
+    return test
+
+
+# ---------------------------------------------------------------- faults
+
+
+def _fault_state(windows, outages, scrubs, cliff):
+    cliff_state = None
+    if cliff is not None:
+        cap8, factor, idle4 = cliff
+        cliff_state = CliffState(
+            capacity_bytes=cap8 * 8 * KiB, factor=factor, recovery_idle=idle4 / 4.0
+        )
+    return ServerFaultState(
+        windows=[
+            Window(s4 / 4.0, s4 / 4.0 + d4 / 4.0 + 0.25, factor)
+            for s4, d4, factor in windows
+        ],
+        outages=[(s4 / 4.0, s4 / 4.0 + d4 / 4.0) for s4, d4 in outages],
+        scrubs=[
+            Scrub(p4 / 4.0, min(duty4, p4) / 4.0, factor, ph4 / 4.0)
+            for p4, duty4, factor, ph4 in scrubs
+        ],
+        cliff=cliff_state,
+    )
+
+
+@harness("fault_adjust")
+def _fault_adjust(contract):
+    @given(
+        windows=_fault_windows,
+        outages=_fault_outages,
+        scrubs=_fault_scrubs,
+        cliff=_fault_cliffs,
+        queries=_fault_queries,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test(windows, outages, scrubs, cliff, queries):
+        ref = _fault_state(windows, outages, scrubs, cliff)
+        twin = _fault_state(windows, outages, scrubs, cliff)
+        for op, len8, cand4, lag4 in queries:
+            candidate = cand4 / 4.0
+            prev_tail = max(0.0, candidate - lag4 / 4.0)
+            length = len8 * 8 * KiB
+            got = twin.adjust_flat(op, length, candidate, prev_tail)
+            want = ref.adjust(op, length, candidate, prev_tail)
+            assert got == want
 
     return test
 
@@ -210,11 +339,15 @@ def _fresh_server(use_ssd):
 
 @harness("server_submit")
 def _server_submit(contract):
-    @given(batch=_sub_request_batches, use_ssd=st.booleans())
+    @given(batch=_sub_request_batches, use_ssd=st.booleans(), faulted=st.booleans())
     @settings(max_examples=30, deadline=None)
-    def test(batch, use_ssd):
+    def test(batch, use_ssd, faulted):
         _, ref = _fresh_server(use_ssd)
         _, twin = _fresh_server(use_ssd)
+        if faulted:
+            # separate compilations: fault states carry mutable cursors
+            ref.faults = _SERVER_FAULT_PLAN.compile(1)[0]
+            twin.faults = _SERVER_FAULT_PLAN.compile(1)[0]
         for op, obj, off, length, nb4 in batch:
             ref.submit(op, obj, off * 8 * KiB, length * 8 * KiB, not_before=nb4 / 4.0)
             twin.submit_flat(

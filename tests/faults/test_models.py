@@ -1,0 +1,69 @@
+"""Unit tests for declarative fault models (repro.faults.models)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    BackgroundScrub,
+    ServerOutage,
+    TransientSlowdown,
+    WriteCliff,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.faults.models import MODEL_KINDS
+from repro.units import MiB
+
+
+class TestValidation:
+    def test_negative_server_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransientSlowdown(server=-1)
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0])
+    def test_nonpositive_factor_rejected(self, factor):
+        with pytest.raises(ConfigurationError):
+            BackgroundScrub(server=0, factor=factor)
+
+    def test_scrub_duty_bounded_by_period(self):
+        with pytest.raises(ConfigurationError):
+            BackgroundScrub(server=0, period=5.0, duty=6.0)
+
+    def test_outage_duration_positive(self):
+        with pytest.raises(ConfigurationError):
+            ServerOutage(server=0, duration=0.0)
+
+    def test_cliff_capacity_positive(self):
+        with pytest.raises(ConfigurationError):
+            WriteCliff(server=0, capacity_bytes=0)
+
+    def test_slowdown_defaults_valid(self):
+        model = TransientSlowdown(server=2)
+        assert model.kind == "slowdown"
+        assert model.server == 2
+
+
+class TestRoundTrip:
+    MODELS = [
+        TransientSlowdown(server=0, factor=4.0, windows=2, mean_duration=1.5),
+        BackgroundScrub(server=1, period=12.0, duty=3.0, factor=2.0, phase=1.0),
+        ServerOutage(server=2, at=5.0, duration=2.0, rebuild_duration=4.0),
+        WriteCliff(server=3, capacity_bytes=2 * MiB, factor=5.0),
+    ]
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.kind)
+    def test_dict_round_trip(self, model):
+        payload = model_to_dict(model)
+        assert payload["kind"] == model.kind
+        assert model_from_dict(payload) == model
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            model_from_dict({"kind": "gremlins", "server": 0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown field"):
+            model_from_dict({"kind": "scrub", "server": 0, "spin": 1})
+
+    def test_registry_covers_all_models(self):
+        assert sorted(MODEL_KINDS) == ["outage", "scrub", "slowdown", "write_cliff"]

@@ -1,0 +1,95 @@
+"""Unit tests for FaultPlan compilation, attachment and round-trip."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    BackgroundScrub,
+    FaultPlan,
+    ServerOutage,
+    TransientSlowdown,
+    WriteCliff,
+)
+from repro.pfs.system import HybridPFS
+from repro.units import MiB
+
+
+def _plan(seed=7):
+    return FaultPlan(
+        faults=(
+            TransientSlowdown(server=0, factor=3.0, windows=3, horizon=20.0),
+            ServerOutage(server=1, at=1.0, duration=2.0),
+            BackgroundScrub(server=2, period=8.0, duty=2.0),
+            WriteCliff(server=3, capacity_bytes=MiB),
+        ),
+        seed=seed,
+    )
+
+
+class TestCompile:
+    def test_deterministic_across_calls(self):
+        a = _plan().compile(6)
+        b = _plan().compile(6)
+        assert sorted(a) == sorted(b) == [0, 1, 2, 3]
+        assert a[0]._segments == b[0]._segments
+        assert a[1]._outages == b[1]._outages
+        assert a[2]._scrubs == b[2]._scrubs
+
+    def test_seed_changes_random_draws(self):
+        a = FaultPlan((TransientSlowdown(server=0),), seed=1).compile(2)
+        b = FaultPlan((TransientSlowdown(server=0),), seed=2).compile(2)
+        assert a[0]._segments != b[0]._segments
+
+    def test_per_model_independence(self):
+        # removing an unrelated model must not change another's draws
+        slow = TransientSlowdown(server=0)
+        alone = FaultPlan((slow,), seed=3).compile(4)
+        first = FaultPlan((slow, ServerOutage(server=1)), seed=3).compile(4)
+        assert alone[0]._segments == first[0]._segments
+
+    def test_fresh_state_each_compile(self):
+        plan = _plan()
+        assert plan.compile(6)[3] is not plan.compile(6)[3]
+
+    def test_out_of_range_server_rejected(self):
+        with pytest.raises(ConfigurationError, match="targets server"):
+            _plan().compile(2)
+
+    def test_duplicate_cliff_rejected(self):
+        plan = FaultPlan((WriteCliff(server=0), WriteCliff(server=0)))
+        with pytest.raises(ConfigurationError, match="write-cliff"):
+            plan.compile(1)
+
+
+class TestAttach:
+    def test_attach_installs_and_clears(self):
+        spec = ClusterSpec()
+        pfs = HybridPFS(spec)
+        _plan().attach(pfs)
+        assert all(pfs.servers[i].faults is not None for i in range(4))
+        assert all(srv.faults is None for srv in pfs.servers[4:])
+        FaultPlan(faults=()).attach(pfs)
+        assert all(srv.faults is None for srv in pfs.servers)
+
+    def test_servers_listing(self):
+        assert _plan().servers() == (0, 1, 2, 3)
+        assert len(_plan()) == 4
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = _plan(seed=11)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_describe_mentions_every_model(self):
+        text = _plan().describe()
+        for kind in ("slowdown", "outage", "scrub", "write_cliff"):
+            assert kind in text
+        assert FaultPlan().describe() == "fault plan: (healthy)"
+
+    def test_picklable(self):
+        import pickle
+
+        plan = _plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan

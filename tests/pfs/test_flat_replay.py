@@ -179,6 +179,69 @@ class TestPropertyEquivalence:
         assert_identical(event, flat)
 
 
+class TestFaultEquivalence:
+    """Fault injection must preserve engine bit-identity."""
+
+    @staticmethod
+    def plan(seed):
+        from repro.faults import (
+            BackgroundScrub,
+            FaultPlan,
+            ServerOutage,
+            TransientSlowdown,
+            WriteCliff,
+        )
+
+        return FaultPlan(
+            faults=(
+                TransientSlowdown(
+                    server=0, factor=3.0, windows=3, mean_duration=1.0, horizon=8.0
+                ),
+                ServerOutage(
+                    server=1, at=0.5, duration=1.0, rebuild_duration=2.0,
+                    rebuild_factor=2.0,
+                ),
+                BackgroundScrub(server=2, period=2.0, duty=0.5, factor=1.5),
+                WriteCliff(server=3, capacity_bytes=64 * KiB, factor=2.0,
+                           recovery_idle=0.5),
+            ),
+            seed=seed,
+        )
+
+    @given(raw=traces, nics=st.booleans(), gap=st.booleans(), seed=st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_faulted_flat_equals_event(self, raw, nics, gap, seed):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2, model_client_nics=nics)
+        trace = Trace(
+            [
+                rec(off * 16 * KiB, size * 16 * KiB, phase * 10.0, rank=rank, op=op)
+                for off, size, phase, rank, op in raw
+            ]
+        )
+        event, flat = run_both(
+            spec,
+            lambda: simple_view(spec, stripe=32 * KiB),
+            trace,
+            keep_latencies=True,
+            barrier_gap=5.0 if gap else None,
+            fault_plan=self.plan(seed),
+        )
+        assert_identical(event, flat)
+        assert flat[0].per_server_latencies == event[0].per_server_latencies
+
+    def test_faults_slow_the_replay_down(self):
+        from repro.faults import FaultPlan, ServerOutage
+
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        trace = Trace([rec(i * 64 * KiB, 64 * KiB, 0.0, rank=i) for i in range(6)])
+        healthy = run_workload(spec, simple_view(spec), trace)
+        plan = FaultPlan((ServerOutage(server=0, at=0.0, duration=1.0),))
+        faulted = run_workload(spec, simple_view(spec), trace, fault_plan=plan)
+        assert faulted.makespan > healthy.makespan
+        assert faulted.makespan >= 1.0  # deferred past the outage
+        assert faulted.total_bytes == healthy.total_bytes
+
+
 class TestEngineSelection:
     def make(self):
         spec = ClusterSpec(num_hservers=2, num_sservers=2)
@@ -245,6 +308,16 @@ class TestEngineSelection:
         metrics = replay_trace(pfs, simple_view(spec), trace, engine="flat")
         assert metrics.requests == 3
 
+    def test_feedback_view_falls_back_to_event(self, monkeypatch):
+        from repro.schemes import make_scheme
+
+        spec, trace = self.make()
+        view = make_scheme("SAW").build(spec, trace)
+        assert view.requires_event_engine
+        monkeypatch.setattr(replay_mod, "replay_flat", self.boom)
+        metrics = replay_trace(HybridPFS(spec), view, trace, engine="flat")
+        assert metrics.requests == 3
+
     def test_flat_is_the_default_engine(self, monkeypatch):
         from repro.config import DEFAULT_REPLAY_ENGINE
 
@@ -301,3 +374,31 @@ class TestLatencyPercentileCache:
         assert m.p99_latency == 0.0
         with pytest.raises(ValueError):
             m.latency_percentile(101)
+
+    def test_server_percentiles(self):
+        m = self.metrics([1.0, 2.0])
+        m.per_server_latencies = [[3.0, 1.0, 2.0], []]
+        assert m.server_latency_percentile(0, 0) == 1.0
+        assert m.server_latency_percentile(0, 100) == 3.0
+        assert m.server_latency_percentile(1, 99) == 0.0
+        with pytest.raises(IndexError):
+            m.server_latency_percentile(2, 50)
+        with pytest.raises(ValueError):
+            m.server_latency_percentile(0, -1)
+
+    def test_server_percentile_cache_invalidation(self):
+        m = self.metrics([1.0])
+        m.per_server_latencies = [[2.0, 1.0]]
+        assert m.server_latency_percentile(0, 100) == 2.0
+        m.per_server_latencies[0][0] = 9.0
+        m.invalidate_latency_cache()
+        assert m.server_latency_percentile(0, 100) == 9.0
+
+    def test_no_server_latencies_returns_zero(self):
+        m = self.metrics([1.0])
+        assert m.server_latency_percentile(0, 99) == 0.0
+
+    def test_tail_properties(self):
+        m = self.metrics([float(i) for i in range(1, 1001)])
+        assert m.p95_latency == m.latency_percentile(95)
+        assert m.p999_latency == m.latency_percentile(99.9)

@@ -91,3 +91,69 @@ class TestRandomWorkloads:
         )
         plan = MHAPipeline(spec, seed=0).plan(trace)
         assert verify_plan(plan, trace).ok
+
+
+class TestFaultConservation:
+    """Faults defer and dilate service but never change what is served.
+
+    The conservation contract of :mod:`repro.faults`: with and without
+    an attached plan, a replay moves exactly the same bytes to exactly
+    the same servers — only the timing differs.
+    """
+
+    @staticmethod
+    def _plan(seed):
+        from repro.faults import (
+            BackgroundScrub,
+            FaultPlan,
+            ServerOutage,
+            TransientSlowdown,
+            WriteCliff,
+        )
+
+        return FaultPlan(
+            faults=(
+                TransientSlowdown(
+                    server=0, factor=4.0, windows=4, mean_duration=0.5, horizon=5.0
+                ),
+                ServerOutage(
+                    server=1, at=0.01, duration=0.5, rebuild_duration=1.0,
+                    rebuild_factor=2.0,
+                ),
+                BackgroundScrub(server=2, period=0.5, duty=0.2, factor=2.0),
+                WriteCliff(
+                    server=6, capacity_bytes=256 * KiB, factor=3.0, recovery_idle=0.1
+                ),
+            ),
+            seed=seed,
+        )
+
+    @given(trace=random_workloads(), seed=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_faults_conserve_bytes(self, trace, seed):
+        from repro.pfs import run_workload
+        from repro.schemes import build_view
+
+        spec = ClusterSpec()
+        view = build_view("DEF", spec, trace)
+        healthy = run_workload(spec, view, trace)
+        faulted = run_workload(spec, view, trace, fault_plan=self._plan(seed))
+        assert faulted.total_bytes == healthy.total_bytes
+        assert faulted.read_bytes == healthy.read_bytes
+        assert faulted.write_bytes == healthy.write_bytes
+        assert faulted.per_server_bytes == healthy.per_server_bytes
+        assert faulted.requests == healthy.requests
+        assert faulted.makespan >= healthy.makespan
+
+    @given(trace=random_workloads())
+    @settings(max_examples=6, deadline=None)
+    def test_faulted_comparison_conserves_per_scheme(self, trace):
+        spec = ClusterSpec()
+        healthy = compare_schemes(spec, trace, ("DEF", "MHA"))
+        faulted = compare_schemes(
+            spec, trace, ("DEF", "MHA"), fault_plan=self._plan(0)
+        )
+        for name in ("DEF", "MHA"):
+            h, f = healthy[name].metrics, faulted[name].metrics
+            assert f.per_server_bytes == h.per_server_bytes
+            assert f.total_bytes == h.total_bytes

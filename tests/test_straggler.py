@@ -1,0 +1,217 @@
+"""Unit tests for the straggler-aware scheme (repro.schemes.straggler)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.exceptions import ConfigurationError
+from repro.layouts import FixedStripeLayout
+from repro.schemes.base import LayoutView
+from repro.schemes.registry import make_scheme
+from repro.schemes.straggler import (
+    LatencyEWMA,
+    StragglerAwareScheme,
+    StragglerAwareView,
+)
+from repro.tracing import Trace, TraceRecord
+from repro.units import KiB
+
+
+def _records(n=4, size=64 * KiB):
+    return [
+        TraceRecord(
+            offset=i * size, timestamp=float(i), rank=0, size=size, op="write", file="f"
+        )
+        for i in range(n)
+    ]
+
+
+def _view(num_servers=4, budget=1 << 30, **kwargs):
+    spec = ClusterSpec(num_hservers=num_servers, num_sservers=0)
+    inner = LayoutView(
+        {}, default=FixedStripeLayout(spec.server_ids, 16 * KiB, obj="f")
+    )
+    return StragglerAwareView(
+        inner, num_servers, replication_budget=budget, **kwargs
+    )
+
+
+class TestLatencyEWMA:
+    def test_first_sample_initializes_mean(self):
+        ewma = LatencyEWMA(2, alpha=0.5)
+        ewma.observe(0, 4.0, 1.0)
+        assert ewma.estimate(0, 1.0) == 4.0
+
+    def test_update_moves_toward_sample(self):
+        ewma = LatencyEWMA(1, alpha=0.5)
+        ewma.observe(0, 4.0, 1.0)
+        ewma.observe(0, 8.0, 2.0)
+        assert ewma.estimate(0, 2.0) == 6.0
+        ewma.observe(0, 6.0, 3.0)
+        assert ewma.estimate(0, 3.0) == 6.0
+
+    def test_counts_per_server(self):
+        ewma = LatencyEWMA(2)
+        ewma.observe(1, 1.0, 0.5)
+        ewma.observe(1, 1.0, 0.6)
+        assert ewma.count(0) == 0
+        assert ewma.count(1) == 2
+
+    def test_no_decay_without_half_life(self):
+        ewma = LatencyEWMA(1)
+        ewma.observe(0, 4.0, 0.0)
+        assert ewma.estimate(0, 1e6) == 4.0
+
+    def test_decay_halves_per_half_life(self):
+        ewma = LatencyEWMA(1, half_life=2.0)
+        ewma.observe(0, 8.0, 10.0)
+        assert ewma.estimate(0, 10.0) == 8.0
+        assert ewma.estimate(0, 12.0) == 4.0
+        assert ewma.estimate(0, 14.0) == 2.0
+
+    def test_estimates_vector(self):
+        ewma = LatencyEWMA(3)
+        ewma.observe(2, 5.0, 0.0)
+        assert ewma.estimates(0.0) == [0.0, 0.0, 5.0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_servers=0),
+            dict(num_servers=1, alpha=0.0),
+            dict(num_servers=1, alpha=1.5),
+            dict(num_servers=1, half_life=0.0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LatencyEWMA(**kwargs)
+
+
+class TestStragglerClassification:
+    def _feed(self, view, latencies, samples=4):
+        for _ in range(samples):
+            for server, latency in enumerate(latencies):
+                view.observe_latency(server, latency, 1.0)
+
+    def test_no_classification_before_min_samples(self):
+        view = _view(min_samples=4)
+        for server in range(4):
+            view.observe_latency(server, 9.0 if server == 0 else 1.0, 1.0)
+        assert view.stragglers() == set()
+
+    def test_outlier_flagged(self):
+        view = _view(min_samples=2, threshold=1.5)
+        self._feed(view, [10.0, 1.0, 1.0, 1.0])
+        assert view.stragglers() == {0}
+
+    def test_uniform_cluster_has_no_stragglers(self):
+        view = _view(min_samples=2)
+        self._feed(view, [1.0, 1.0, 1.0, 1.0])
+        assert view.stragglers() == set()
+
+    def test_single_sampled_server_never_straggler(self):
+        view = _view(min_samples=1)
+        view.observe_latency(0, 99.0, 1.0)
+        assert view.stragglers() == set()
+
+    def test_pick_target_prefers_fastest_healthy(self):
+        view = _view(min_samples=1)
+        self._feed(view, [10.0, 3.0, 2.0, 10.0], samples=2)
+        stragglers = view.stragglers()
+        assert stragglers == {0, 3}
+        assert view._pick_target(stragglers) == 2
+
+    def test_all_straggling_no_target(self):
+        view = _view()
+        assert view._pick_target({0, 1, 2, 3}) is None
+
+
+class TestRedirection:
+    def _hot(self, view):
+        # server 0 slow, everyone sampled
+        for _ in range(4):
+            for server in range(4):
+                view.observe_latency(server, 8.0 if server == 0 else 1.0, 1.0)
+
+    def test_writes_redirected_away_from_straggler(self):
+        view = _view()
+        self._hot(view)
+        runs = view.dispatch_request("write", "f", 0, 64 * KiB)
+        assert all(f.server != 0 for f in runs)
+        assert view.redirected_fragments == 1
+        assert view.replicated_bytes == 16 * KiB
+
+    def test_reads_follow_redirects(self):
+        view = _view()
+        self._hot(view)
+        view.dispatch_request("write", "f", 0, 64 * KiB)
+        reads = view.dispatch_request("read", "f", 0, 64 * KiB)
+        assert sorted(f.logical_offset for f in reads) == [
+            0, 16 * KiB, 32 * KiB, 48 * KiB
+        ]
+        assert all(f.server != 0 for f in reads)
+        assert sum(f.length for f in reads) == 64 * KiB
+
+    def test_reads_never_create_redirects(self):
+        view = _view()
+        self._hot(view)
+        view.dispatch_request("read", "f", 0, 64 * KiB)
+        assert view.redirected_fragments == 0
+
+    def test_budget_bounds_replication(self):
+        view = _view(budget=16 * KiB)
+        self._hot(view)
+        view.dispatch_request("write", "f", 0, 256 * KiB)
+        assert view.replicated_bytes <= 16 * KiB
+        # further writes to the straggler stay in place once exhausted
+        runs = view.dispatch_request("write", "f", 256 * KiB, 256 * KiB)
+        assert any(f.server == 0 for f in runs)
+
+    def test_zero_budget_never_redirects(self):
+        view = _view(budget=0)
+        self._hot(view)
+        runs = view.dispatch_request("write", "f", 0, 256 * KiB)
+        assert any(f.server == 0 for f in runs)
+        assert view.replicated_bytes == 0
+
+    def test_healthy_cluster_maps_like_inner(self):
+        view = _view()
+        got = view.dispatch_request("write", "f", 0, 64 * KiB)
+        want = view.inner.map_request("f", 0, 64 * KiB)
+        assert sorted(got, key=lambda f: f.logical_offset) == want
+
+    def test_dispatch_orders_slowest_first(self):
+        view = _view(min_samples=1, threshold=100.0)  # classify nothing
+        for server, latency in enumerate([1.0, 4.0, 2.0, 3.0]):
+            view.observe_latency(server, latency, 1.0)
+        runs = view.dispatch_request("read", "f", 0, 64 * KiB)
+        assert [f.server for f in runs] == [1, 3, 2, 0]
+
+
+class TestScheme:
+    def test_build_and_name(self):
+        scheme = StragglerAwareScheme()
+        assert scheme.name == "SAW"
+        spec = ClusterSpec()
+        trace = Trace(_records())
+        view = scheme.build(spec, trace)
+        assert isinstance(view, StragglerAwareView)
+        assert view.requires_event_engine
+        assert view.replication_budget == int(0.5 * trace.total_bytes())
+
+    def test_composed_name(self):
+        assert StragglerAwareScheme(base="MHA").name == "MHA+SAW"
+        assert make_scheme("MHA+SAW").name == "MHA+SAW"
+        assert make_scheme("STRAGGLER").name == "SAW"
+
+    def test_replication_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            StragglerAwareScheme(replication_fraction=-0.1)
+
+    def test_view_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            _view(threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            _view(min_samples=0)
+        with pytest.raises(ConfigurationError):
+            _view(budget=-1)
