@@ -1,0 +1,81 @@
+"""Multi-tenant serve microbenchmark: sharded build plus coupled replay.
+
+Times the tenancy service hot paths so CI catches regressions in the
+per-tenant build fan-out, the admission/QoS merge, and the shared-cluster
+open-arrival replay (reported through the ``candidates_per_sec`` field
+the CI gate compares):
+
+* ``serve-build`` — sharded per-tenant builds (trace generation, arrival
+  rewrite, premapping, quota enforcement) for a mixed fleet;
+* ``serve-replay`` — the end-to-end ``serve_scenario`` replaying the
+  merged trace on the shared cluster, measured in replayed requests/sec
+  (also asserts the double-run digest is stable).
+
+Results are written to ``BENCH_serve.json`` (override with the
+``REPRO_BENCH_OUT`` environment variable) and CI gates them against
+``benchmarks/baselines/BENCH_serve.json`` with the same >30% regression
+tolerance as the other benchmarks.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+
+from harness.bench import BenchReport, PhaseResult  # noqa: E402
+
+from repro.cluster import ClusterSpec  # noqa: E402
+from repro.tenancy import build_tenants, make_tenants, serve_scenario  # noqa: E402
+
+REPEATS = 3
+TENANTS = 64
+SPEC = ClusterSpec(num_hservers=4, num_sservers=2)
+
+
+def best_of(fn, repeats: int = REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def report():
+    rep = BenchReport(bench="serve")
+    rep.collect_environment()
+    yield rep
+    out = os.environ.get("REPRO_BENCH_OUT", str(REPO_ROOT / "BENCH_serve.json"))
+    rep.write(out)
+    print(f"\nwrote {out}")
+
+
+def test_sharded_build(report):
+    """Per-tenant build fan-out: trace gen, premap, quota — serial path."""
+    fleet = make_tenants(TENANTS)
+    wall, builds = best_of(lambda: build_tenants(SPEC, fleet))
+    assert len(builds) == TENANTS
+    report.add(PhaseResult.from_timing("serve-build", wall, TENANTS))
+    print(f"\nserve build: {TENANTS} tenants, {wall * 1e3:.1f} ms")
+
+
+def test_serve_replay(report):
+    """End-to-end serve: build, admission/QoS merge, coupled replay."""
+    wall, rep = best_of(
+        lambda: serve_scenario(spec=SPEC, tenants=TENANTS, max_active=16)
+    )
+    assert rep.digest() == serve_scenario(
+        spec=SPEC, tenants=TENANTS, max_active=16
+    ).digest()
+    report.add(PhaseResult.from_timing("serve-replay", wall, rep.total_requests))
+    print(
+        f"\nserve replay: {TENANTS} tenants, {rep.total_requests} requests, "
+        f"{wall * 1e3:.1f} ms ({rep.total_requests / wall:,.0f} req/s)"
+    )

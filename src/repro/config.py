@@ -13,7 +13,12 @@ seeds and unseeded generators are rejected; named seeds pass).
 
 from __future__ import annotations
 
-__all__ = ["DEFAULT_FAULT_SEED", "DEFAULT_REPLAY_ENGINE", "DEFAULT_SAMPLE_SEED"]
+__all__ = [
+    "DEFAULT_ARRIVAL_SEED",
+    "DEFAULT_FAULT_SEED",
+    "DEFAULT_REPLAY_ENGINE",
+    "DEFAULT_SAMPLE_SEED",
+]
 
 #: Seed for every deterministic sampling RNG in the planning pipeline
 #: (trace subsampling, k-means initialisation, tie-breaking).  Changing
@@ -29,6 +34,15 @@ DEFAULT_SAMPLE_SEED: int = 0
 #: every worker process.  Distinct from the sampling seed so fault
 #: schedules can be varied without disturbing planning.
 DEFAULT_FAULT_SEED: int = 1729
+
+#: Seed for tenant arrival processes (Poisson inter-arrival rewrites in
+#: :class:`repro.workloads.arrivals.OpenArrivalWorkload` and the tenant
+#: mix generator in :mod:`repro.tenancy`).  Tenant ``k`` derives its
+#: generator from ``[DEFAULT_ARRIVAL_SEED, k]`` so every tenant's
+#: arrival stream is independent yet reproducible, on every worker
+#: process.  Distinct from the sampling and fault seeds so traffic can
+#: be varied without disturbing planning or fault schedules.
+DEFAULT_ARRIVAL_SEED: int = 4104
 
 #: Replay engine used when the caller does not pick one: ``"flat"``
 #: (the event-free queue-tail kernel of :mod:`repro.pfs.flat`) or

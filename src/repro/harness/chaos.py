@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Collection, Mapping
 
 from ..cluster import ClusterSpec
 from ..config import DEFAULT_FAULT_SEED
@@ -214,6 +215,7 @@ def chaos_experiment(
     engine: str | None = None,
     n_jobs: int | None = 1,
     label: str = "chaos",
+    rank_groups: Mapping[str, Collection[int]] | None = None,
 ) -> ChaosReport:
     """Sweep fault intensity × scheme; tabulate bandwidth and tails.
 
@@ -222,6 +224,13 @@ def chaos_experiment(
     one bandwidth figure, one figure per tail quantile
     (:data:`~repro.harness.report.TAIL_QUANTILES`), and a per-server
     p99 breakdown at the harshest intensity of the sweep.
+
+    ``rank_groups`` optionally names disjoint sets of trace ranks
+    (e.g. per-tenant rank windows); when given, one extra figure
+    reports each group's p50/p95/p99 at the harshest intensity via
+    :meth:`~repro.pfs.replay.RunMetrics.group_latency_percentile`.
+    Leaving it ``None`` keeps the figure set — and therefore every
+    existing digest — unchanged.
     """
     if not intensities:
         raise ConfigurationError("need at least one intensity")
@@ -281,4 +290,20 @@ def chaos_experiment(
                 latency_ms(metrics.server_latency_percentile(server, 99.0)),
             )
     report.figures.append(per_server)
+    if rank_groups:
+        group_tails = FigureResult(
+            figure=f"{label}-group-tails",
+            title=f"per-group latency tails at {harshest}",
+            unit="ms",
+        )
+        for scheme in schemes:
+            metrics = report.comparisons[harshest][scheme].metrics
+            for group, ranks in rank_groups.items():
+                for q in (50.0, 95.0, 99.0):
+                    group_tails.add(
+                        f"{group}/{quantile_label(q)}",
+                        scheme,
+                        latency_ms(metrics.group_latency_percentile(ranks, q)),
+                    )
+        report.figures.append(group_tails)
     return report

@@ -4,8 +4,10 @@
 script) prints the reproduced rows of the requested figure; ``all``
 runs the whole evaluation section.  ``python -m repro.harness online``
 runs the closed-loop phase-shift experiment of :mod:`repro.online`
-instead of a figure, and ``python -m repro.harness chaos`` runs the
-fault-intensity × scheme sweep of :mod:`repro.harness.chaos`.
+instead of a figure, ``python -m repro.harness chaos`` runs the
+fault-intensity × scheme sweep of :mod:`repro.harness.chaos`, and
+``python -m repro.harness serve`` replays a multi-tenant fleet through
+the cluster service of :mod:`repro.tenancy`.
 """
 
 from __future__ import annotations
@@ -174,6 +176,82 @@ def _chaos_main(argv: list[str]) -> int:
     return 0
 
 
+def _serve_main(argv: list[str]) -> int:
+    """The ``serve`` subcommand: the multi-tenant cluster service."""
+    from ..config import DEFAULT_ARRIVAL_SEED
+    from ..tenancy import serve_scenario
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness serve",
+        description=(
+            "Replay a multi-tenant fleet on one shared hybrid PFS: "
+            "seeded per-tenant arrival processes, admission control, "
+            "token-bucket bandwidth shares, SServer quotas, and SCFQ "
+            "weighted fair queueing, with per-tenant tail latencies. "
+            "Builds shard across processes; the result is bit-identical "
+            "at any --jobs count, and --digest prints only the SHA-256 "
+            "CI compares across runs."
+        ),
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=1000, help="fleet size (default 1000)"
+    )
+    parser.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.8,
+        help="fraction of hot (small working set) tenants in the mix",
+    )
+    parser.add_argument(
+        "--max-active",
+        type=int,
+        default=64,
+        help="admission slots: tenants concurrently in flight",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_ARRIVAL_SEED,
+        help="arrival-process seed (tenant k draws from [seed, k])",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("flat", "event"),
+        default=None,
+        help="replay engine (default: the flat queue-tail kernel)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="build-shard worker processes (default: REPRO_JOBS/CPUs)",
+    )
+    parser.add_argument(
+        "--digest",
+        action="store_true",
+        help="print only the report's SHA-256 digest (for CI comparison)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    report = serve_scenario(
+        tenants=args.tenants,
+        hot_fraction=args.hot_fraction,
+        max_active=args.max_active,
+        arrival_seed=args.seed,
+        engine=args.engine,
+        n_jobs=args.jobs,
+    )
+    elapsed = time.perf_counter() - started
+    if args.digest:
+        print(report.digest())
+        return 0
+    print(report.describe())
+    print(f"\ndigest: {report.digest()}")
+    print(f"  ({elapsed:.1f}s, {report.total_requests / elapsed:.0f} req/s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -181,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
         return _online_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description="Reproduce the MHA paper's evaluation figures.",

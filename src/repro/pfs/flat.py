@@ -95,6 +95,11 @@ def mapped_runs(view: "FileView", records: Sequence[TraceRecord]) -> MergedRuns:
     return builder.build()
 
 
+#: heap sentinel marking an arrival wakeup (vs. a barrier phase >= 0
+#: or the barrier-less completion marker -1)
+_WAKEUP = -2
+
+
 @twin_of(
     "repro.pfs.replay:_replay_event",
     unsupported=("collector", "on_record"),
@@ -109,14 +114,24 @@ def replay_flat(
     keep_latencies: bool = False,
     phase_of: Sequence[int] | None = None,
     phase_sizes: Sequence[int] | None = None,
-) -> tuple[float, list[float]]:
+    open_arrivals: bool = False,
+) -> tuple[float, list[float], list[int]]:
     """Replay time-ordered ``ordered`` records without the event heap.
 
     ``phase_of``/``phase_sizes`` carry the barrier structure computed by
     :func:`repro.pfs.replay._phase_index` (both ``None`` when barriers
-    are off).  Returns ``(foreground_end, latencies)``; server/resource
-    statistics accumulate on ``pfs`` exactly as in event mode, and the
-    simulator clock ends at the last completion time.
+    are off).  ``open_arrivals`` switches from closed-loop replay (a
+    rank issues its next record the instant the previous one completes)
+    to open-loop: a record may additionally not issue before its trace
+    timestamp, relative to the replay start — arrival waits go through
+    the same ready heap as completions, with seq numbers allocated at
+    the point the event engine would schedule its wakeup event, so
+    same-instant ordering stays bit-identical.  Returns
+    ``(foreground_end, latencies, latency_ranks)`` where
+    ``latency_ranks[k]`` is the issuing rank of the request behind
+    ``latencies[k]``; server/resource statistics accumulate on ``pfs``
+    exactly as in event mode, and the simulator clock ends at the last
+    completion time.
     """
     sim = pfs.sim
     start = sim.now
@@ -143,6 +158,9 @@ def replay_flat(
     len_col = runs.lengths
     starts_col = runs.starts
     ops = [record.op for record in ordered]
+    arrivals = (
+        [start + record.timestamp for record in ordered] if open_arrivals else []
+    )
     use_barrier = phase_of is not None
     phases: list[int] = list(phase_of) if phase_of is not None else []
     remaining: list[int] = list(phase_sizes) if phase_sizes is not None else []
@@ -153,8 +171,10 @@ def replay_flat(
     max_finish = start
     seq = 0
     latencies: list[float] = []
+    latency_ranks: list[int] = []
     # in-flight requests: (critical finish, critical fragment seq, rank
-    # position, barrier phase or -1) — pops in the event heap's order
+    # position, barrier phase or -1) — pops in the event heap's order.
+    # Arrival wakeups ride the same heap tagged ``_WAKEUP``.
     heap: list[tuple[float, int, int, int]] = []
 
     def issue_from(rp: int, now: float) -> None:
@@ -172,6 +192,14 @@ def replay_flat(
             if phase > 0 and not fired[phase - 1]:
                 waiters[phase - 1].append(rp)
                 return
+        if open_arrivals:
+            arrival = arrivals[i]
+            if arrival > now:
+                # the event engine schedules one wakeup event here; burn
+                # the matching seq so same-instant pops keep its order
+                heappush(heap, (arrival, seq, rp, _WAKEUP))
+                seq += 1
+                return
         cursor[rp] = c + 1
         issued_at[rp] = now
         lo = starts_col[i]
@@ -181,6 +209,7 @@ def replay_flat(
                 record_complete(phase, now)
             if keep_latencies:
                 latencies.append(0.0)
+                latency_ranks.append(ranks[rp])
             issue_from(rp, now)
             return
         not_before = 0.0
@@ -219,10 +248,14 @@ def replay_flat(
         issue_from(rp, start)
     while heap:
         now, _, rp, phase = heappop(heap)
+        if phase == _WAKEUP:
+            issue_from(rp, now)
+            continue
         if phase >= 0:
             record_complete(phase, now)
         if keep_latencies:
             latencies.append(now - issued_at[rp])
+            latency_ranks.append(ranks[rp])
         issue_from(rp, now)
     sim.advance_to(max_finish)
-    return foreground_end, latencies
+    return foreground_end, latencies, latency_ranks

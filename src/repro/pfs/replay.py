@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Collection,
     Iterator,
     Protocol,
     Sequence,
@@ -36,7 +37,7 @@ from typing import (
 from ..cluster import ClusterSpec
 from ..config import DEFAULT_REPLAY_ENGINE
 from ..layouts.base import SubRequest
-from ..simulate import Waitable
+from ..simulate import Simulator, Waitable
 from ..tracing.collector import IOCollector
 from ..tracing.record import Trace, TraceRecord
 from .flat import replay_flat
@@ -69,6 +70,10 @@ class RunMetrics:
     read_bytes: int
     write_bytes: int
     latencies: list[float] = field(default_factory=list)
+    #: issuing rank of each kept latency sample (parallel to
+    #: ``latencies``); the multi-tenant service namespaces ranks per
+    #: tenant, so this is what per-tenant tail percentiles group by
+    latency_ranks: list[int] = field(default_factory=list)
     #: per-server sub-request service latencies (finish - submit), by
     #: cluster index; populated only when the replay kept latencies —
     #: the per-server tail columns of the chaos reports read these
@@ -153,6 +158,36 @@ class RunMetrics:
         rank = min(len(cached) - 1, int(round(q / 100 * (len(cached) - 1))))
         return cached[rank]
 
+    def group_latencies(self, ranks: "Collection[int]") -> list[float]:
+        """The kept latency samples of requests issued by ``ranks``.
+
+        Requires the replay to have kept latencies; the returned list
+        is in completion order, same as :attr:`latencies`.  The
+        multi-tenant service passes a tenant's (namespaced) rank set
+        here to compute per-tenant tails.
+        """
+        wanted = ranks if isinstance(ranks, (set, frozenset)) else frozenset(ranks)
+        return [
+            lat
+            for lat, rank in zip(self.latencies, self.latency_ranks)
+            if rank in wanted
+        ]
+
+    def group_latency_percentile(self, ranks: "Collection[int]", q: float) -> float:
+        """Request-latency percentile over one rank group (tenant).
+
+        Same rank convention as :meth:`latency_percentile`; returns 0.0
+        when the group has no kept samples.  Not cached — tenant groups
+        are queried a handful of times each, unlike the global tails.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        samples = sorted(self.group_latencies(ranks))
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, int(round(q / 100 * (len(samples) - 1))))
+        return samples[rank]
+
     @property
     def p50_latency(self) -> float:
         """Median request latency (0.0 unless latencies were kept)."""
@@ -209,6 +244,13 @@ def _phase_index(
     return phase_of, sizes
 
 
+def _arrival_gate(sim: Simulator, at: float) -> Waitable:
+    """A waitable firing at absolute simulated time ``at`` (one event)."""
+    gate = Waitable()
+    sim.schedule_at(at, gate.fire)
+    return gate
+
+
 def _replay_event(
     pfs: HybridPFS,
     view: FileView,
@@ -219,11 +261,13 @@ def _replay_event(
     on_record: Callable[[TraceRecord], None] | None,
     phase_of: list[int] | None,
     phase_sizes: list[int] | None,
-) -> tuple[float, list[float]]:
+    open_arrivals: bool = False,
+) -> tuple[float, list[float], list[int]]:
     """The generator-process replay path (one process per rank)."""
     sim = pfs.sim
     start_time = sim.now
     latencies: list[float] = []
+    latency_ranks: list[int] = []
     # optional view protocols: op-aware dispatch (a dispatcher that
     # treats writes and reads differently and orders its own pre-merged
     # runs, e.g. straggler-aware write redirection) and completion-time
@@ -254,6 +298,10 @@ def _replay_event(
                 p = phases[i]
                 if p > 0 and not phase_done[p - 1].fired:
                     yield phase_done[p - 1]
+            if open_arrivals:
+                arrival = start_time + record.timestamp
+                if arrival > sim.now:
+                    yield _arrival_gate(sim, arrival)
             issued = sim.now
             if on_record is not None:
                 on_record(record)
@@ -280,12 +328,13 @@ def _replay_event(
                 record_complete(phases[i])
             if keep_latencies:
                 latencies.append(sim.now - issued)
+                latency_ranks.append(record.rank)
         foreground_end[0] = max(foreground_end[0], sim.now)
 
     for rank in sorted(by_rank):
         sim.spawn(rank_process(by_rank[rank]), name=f"rank{rank}")
     sim.run()
-    return foreground_end[0], latencies
+    return foreground_end[0], latencies, latency_ranks
 
 
 def replay_trace(
@@ -299,6 +348,7 @@ def replay_trace(
     barrier_gap: float | None = None,
     engine: str | None = None,
     fault_plan: "FaultPlan | None" = None,
+    open_arrivals: bool = False,
 ) -> RunMetrics:
     """Replay ``trace`` against ``pfs`` through ``view``.
 
@@ -339,6 +389,14 @@ def replay_trace(
     (``None`` leaves whatever is already attached untouched).  Faults
     only defer/dilate service — both engines consult the same compiled
     timelines and stay bit-identical.
+
+    ``open_arrivals`` switches to open-loop replay: in addition to the
+    closed-loop rule (a rank's next record issues when its previous one
+    completes), no record may issue before ``replay start +
+    record.timestamp`` — the trace timestamps become an arrival
+    process.  This is how the multi-tenant service
+    (:mod:`repro.tenancy`) replays independently-arriving tenant
+    streams; both engines implement it bit-identically.
     """
     if engine is None:
         engine = DEFAULT_REPLAY_ENGINE
@@ -366,16 +424,17 @@ def replay_trace(
         and all(srv.channel.capacity == 1 for srv in pfs.servers)
     )
     if use_flat:
-        foreground_end, latencies = replay_flat(
+        foreground_end, latencies, latency_ranks = replay_flat(
             pfs,
             view,
             ordered,
             keep_latencies=keep_latencies,
             phase_of=phase_of,
             phase_sizes=phase_sizes,
+            open_arrivals=open_arrivals,
         )
     else:
-        foreground_end, latencies = _replay_event(
+        foreground_end, latencies, latency_ranks = _replay_event(
             pfs,
             view,
             ordered,
@@ -384,6 +443,7 @@ def replay_trace(
             on_record=on_record,
             phase_of=phase_of,
             phase_sizes=phase_sizes,
+            open_arrivals=open_arrivals,
         )
 
     read_bytes = sum(r.size for r in trace if r.op == "read")
@@ -403,6 +463,7 @@ def replay_trace(
         read_bytes=read_bytes,
         write_bytes=write_bytes,
         latencies=latencies,
+        latency_ranks=latency_ranks,
         per_server_latencies=per_server_latencies,
     )
 
@@ -415,6 +476,7 @@ def run_workload(
     keep_latencies: bool = False,
     engine: str | None = None,
     fault_plan: "FaultPlan | None" = None,
+    open_arrivals: bool = False,
 ) -> RunMetrics:
     """Convenience: fresh simulator + PFS, one replay, return metrics."""
     pfs = HybridPFS(spec)
@@ -425,4 +487,5 @@ def run_workload(
         keep_latencies=keep_latencies,
         engine=engine,
         fault_plan=fault_plan,
+        open_arrivals=open_arrivals,
     )

@@ -1,0 +1,185 @@
+"""Sharded tenant builds: one picklable task per tenant.
+
+Everything a tenant needs before the shared replay — generating its
+trace, rewriting it onto its seeded arrival process, namespacing it,
+building its layout scheme, premapping every request into columnar
+:class:`~repro.layouts.batch.MergedRuns`, and enforcing its SServer
+quota — reads only that tenant's own inputs.  So the build phase
+shards perfectly: :func:`build_tenants` fans
+:func:`build_tenant` out over processes via
+:func:`repro.core.parallel.parallel_map`, and because each task is
+pure and deterministic and ``parallel_map`` preserves item order, the
+sharded result is bit-identical to the serial one (property-tested in
+``tests/tenancy/``).
+
+The SServer quota is enforced here, at build time, the way a real
+deployment would: if a tenant's premapped placement puts more than
+``sserver_quota`` of its bytes on SServers, its scheme is rebuilt
+against the HDD-only sub-cluster (HServers occupy cluster indices
+``0..M-1``, so layouts built on ``spec.with_ratio(M, 0)`` are valid —
+and all-HDD — in the full cluster) and the build is flagged
+``demoted``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import ClusterSpec
+from ..config import DEFAULT_ARRIVAL_SEED
+from ..core.parallel import parallel_map
+from ..layouts.batch import MergedRuns
+from ..schemes.registry import make_scheme
+from ..tracing.record import Trace, TraceRecord
+from ..workloads.arrivals import OpenArrivalWorkload
+from .namespace import RANK_STRIDE, namespace_trace
+from .spec import TenantSpec, tenant_op, tenant_workload, validate_tenants
+
+__all__ = ["TenantBuild", "TenantBuildTask", "build_tenant", "build_tenants"]
+
+
+@dataclass(frozen=True)
+class TenantBuildTask:
+    """The picklable unit of work one shard executes."""
+
+    spec: ClusterSpec
+    tenant: TenantSpec
+    arrival_seed: int = DEFAULT_ARRIVAL_SEED
+    rank_stride: int = RANK_STRIDE
+
+
+@dataclass
+class TenantBuild:
+    """One tenant's shard output — the merge phase's exchange format.
+
+    ``records`` are the tenant's namespaced, arrival-stamped trace in
+    time order; ``runs_by_file`` / ``requests_by_file`` are its
+    premapped per-file columnar runs and the matching request
+    sequences; ``rst_entries`` are its region-stripe decisions for the
+    MDS namespace (empty for schemes without an RST).
+    """
+
+    tenant: int
+    klass: str
+    records: tuple[TraceRecord, ...]
+    runs_by_file: dict[str, MergedRuns]
+    requests_by_file: dict[str, tuple[tuple[int, int], ...]]
+    rst_entries: tuple[tuple[str, int, int], ...]
+    total_bytes: int
+    ssd_bytes: int
+    demoted: bool
+
+    @property
+    def requests(self) -> int:
+        return len(self.records)
+
+
+def _premap(
+    spec: ClusterSpec, scheme_name: str, trace: Trace
+) -> tuple[
+    dict[str, MergedRuns],
+    dict[str, tuple[tuple[int, int], ...]],
+    tuple[tuple[str, int, int], ...],
+    int,
+]:
+    """Build the scheme, batch-map every request, report SSD bytes."""
+    scheme = make_scheme(scheme_name)
+    view = scheme.build(spec, trace)
+    by_file: dict[str, list[tuple[int, int]]] = {}
+    for record in trace:
+        by_file.setdefault(record.file, []).append((record.offset, record.size))
+    runs_by_file: dict[str, MergedRuns] = {}
+    requests_by_file: dict[str, tuple[tuple[int, int], ...]] = {}
+    ssd_bytes = 0
+    sserver_floor = spec.num_hservers
+    for file, pairs in by_file.items():
+        runs = view.merged_runs(
+            file, [p[0] for p in pairs], [p[1] for p in pairs]
+        )
+        runs_by_file[file] = runs
+        requests_by_file[file] = tuple(pairs)
+        for server, length in zip(runs.servers, runs.lengths):
+            if server >= sserver_floor:
+                ssd_bytes += length
+    plan = getattr(scheme, "plan", None)
+    rst_entries: tuple[tuple[str, int, int], ...] = ()
+    if plan is not None and getattr(plan, "rst", None) is not None:
+        rst_entries = tuple(
+            (region, pair.h, pair.s) for region, pair in plan.rst
+        )
+    return runs_by_file, requests_by_file, rst_entries, ssd_bytes
+
+
+def build_tenant(task: TenantBuildTask) -> TenantBuild:
+    """One tenant's full shard pipeline (module-level: picklable)."""
+    tenant = task.tenant
+    workload = OpenArrivalWorkload(
+        tenant_workload(tenant),
+        rate=tenant.rate,
+        start=tenant.start,
+        jitter=tenant.jitter,
+        seed=task.arrival_seed,
+        stream=tenant.tenant,
+    )
+    trace = namespace_trace(
+        workload.trace(tenant_op(tenant)), tenant.tenant, stride=task.rank_stride
+    )
+    runs, requests, rst_entries, ssd_bytes = _premap(
+        task.spec, tenant.scheme, trace
+    )
+    total_bytes = trace.total_bytes()
+    demoted = False
+    if (
+        tenant.sserver_quota is not None
+        and task.spec.num_hservers > 0
+        and task.spec.num_sservers > 0
+        and total_bytes > 0
+        and ssd_bytes > tenant.sserver_quota * total_bytes
+    ):
+        hdd_only = task.spec.with_ratio(task.spec.num_hservers, 0)
+        runs, requests, rst_entries, ssd_bytes = _premap(
+            hdd_only, tenant.scheme, trace
+        )
+        demoted = True
+    return TenantBuild(
+        tenant=tenant.tenant,
+        klass=tenant.klass,
+        records=tuple(trace),
+        runs_by_file=runs,
+        requests_by_file=requests,
+        rst_entries=rst_entries,
+        total_bytes=total_bytes,
+        ssd_bytes=ssd_bytes,
+        demoted=demoted,
+    )
+
+
+def build_tenants(
+    spec: ClusterSpec,
+    tenants: tuple[TenantSpec, ...],
+    *,
+    n_jobs: int | None = 1,
+    arrival_seed: int = DEFAULT_ARRIVAL_SEED,
+    rank_stride: int = RANK_STRIDE,
+) -> list[TenantBuild]:
+    """Build every tenant, possibly across processes, in tenant order.
+
+    ``n_jobs=1`` (the default) stays serial; ``None`` defers to
+    ``REPRO_JOBS``/CPU count.  Results are identical either way.
+    """
+    validate_tenants(tenants)
+    tasks = [
+        TenantBuildTask(
+            spec=spec,
+            tenant=tenant,
+            arrival_seed=arrival_seed,
+            rank_stride=rank_stride,
+        )
+        for tenant in tenants
+    ]
+    return parallel_map(
+        build_tenant,
+        tasks,
+        n_jobs=n_jobs,
+        labels=[f"tenant{t.tenant:04d}" for t in tenants],
+    )

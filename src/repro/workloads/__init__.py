@@ -1,5 +1,6 @@
 """Workload generators reproducing the paper's benchmarks and traces."""
 
+from .arrivals import OpenArrivalWorkload, poisson_arrival_times
 from .base import PHASE_GAP, TraceBuilder, Workload
 from .btio import BTIOWorkload, CLASS_TOTALS
 from .checkpoint import CheckpointWorkload
@@ -13,6 +14,8 @@ __all__ = [
     "Workload",
     "TraceBuilder",
     "PHASE_GAP",
+    "OpenArrivalWorkload",
+    "poisson_arrival_times",
     "IORWorkload",
     "IORMixedProcsWorkload",
     "HPIOWorkload",

@@ -1,0 +1,118 @@
+"""Seeded open-arrival rewrites: Poisson traffic from closed generators.
+
+Every generator in this package emits bulk-synchronous *phase* time
+(:data:`~repro.workloads.base.PHASE_GAP` between phases, ranks a hair
+apart within one).  A multi-tenant service instead sees an **open**
+request stream per tenant: requests arrive on their own clock whether
+or not earlier ones finished.  :class:`OpenArrivalWorkload` bridges the
+two without touching any generator — it wraps a workload and rewrites
+the timestamps of its time-ordered trace onto a seeded Poisson arrival
+process (exponential inter-arrival gaps at a target ``rate``, plus an
+optional uniformly jittered start offset so tenants launched together
+do not phase-lock).
+
+Determinism contract: tenant ``k`` passes ``stream=k`` and the rewrite
+draws from ``default_rng([seed, stream])``, so each tenant's arrival
+stream is independent of every other's yet byte-reproducible on any
+worker process.  Record *order* is preserved — arrival times are a
+strictly increasing rewrite of the ``sorted_by_time`` order — which is
+what lets premapped per-file request runs survive the rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..config import DEFAULT_ARRIVAL_SEED
+from ..devices.base import OpType
+from ..exceptions import TraceError
+from ..tracing.record import Trace
+from .base import Workload
+
+__all__ = ["OpenArrivalWorkload", "poisson_arrival_times"]
+
+
+def poisson_arrival_times(
+    n: int,
+    rate: float,
+    *,
+    start: float = 0.0,
+    jitter: float = 0.0,
+    seed: int = DEFAULT_ARRIVAL_SEED,
+    stream: int = 0,
+) -> list[float]:
+    """``n`` strictly increasing Poisson arrival times.
+
+    Exponential inter-arrival gaps with mean ``1 / rate``, beginning at
+    ``start`` plus a ``U[0, jitter)`` launch offset.  The generator is
+    derived from ``[seed, stream]`` so distinct streams are independent
+    and each is reproducible in isolation.
+    """
+    if rate <= 0.0:
+        raise TraceError(f"arrival rate must be > 0, got {rate}")
+    if jitter < 0.0:
+        raise TraceError(f"jitter must be >= 0, got {jitter}")
+    rng = np.random.default_rng([seed, stream])
+    offset = start + (float(rng.uniform(0.0, jitter)) if jitter > 0.0 else 0.0)
+    times = offset + np.cumsum(rng.exponential(1.0 / rate, n))
+    return [float(t) for t in times]
+
+
+class OpenArrivalWorkload(Workload):
+    """Wrap a workload, replaying its requests on a Poisson clock.
+
+    ``rate`` is the mean arrival rate (requests per simulated second);
+    ``start``/``jitter`` place the tenant's first request at
+    ``start + U[0, jitter)`` plus the first exponential gap.  The
+    wrapped trace is taken in ``sorted_by_time`` order and re-stamped,
+    so every within-rank (and within-tenant) ordering is preserved —
+    only the pacing changes.  Combine with
+    ``replay_trace(..., open_arrivals=True)`` to honour the new clock.
+    """
+
+    def __init__(
+        self,
+        inner: Workload,
+        rate: float,
+        *,
+        start: float = 0.0,
+        jitter: float = 0.0,
+        seed: int = DEFAULT_ARRIVAL_SEED,
+        stream: int = 0,
+    ) -> None:
+        if rate <= 0.0:
+            raise TraceError(f"arrival rate must be > 0, got {rate}")
+        if jitter < 0.0:
+            raise TraceError(f"jitter must be >= 0, got {jitter}")
+        self.inner = inner
+        self.rate = rate
+        self.start = start
+        self.jitter = jitter
+        self.seed = seed
+        self.stream = stream
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"open({self.inner.name})"
+
+    def trace(self, op: OpType = "write") -> Trace:
+        ordered = self.inner.trace(op).sorted_by_time()
+        times = poisson_arrival_times(
+            len(ordered),
+            self.rate,
+            start=self.start,
+            jitter=self.jitter,
+            seed=self.seed,
+            stream=self.stream,
+        )
+        return Trace(
+            replace(record, timestamp=t) for record, t in zip(ordered, times)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OpenArrivalWorkload({self.inner!r}, rate={self.rate}, "
+            f"stream={self.stream})"
+        )

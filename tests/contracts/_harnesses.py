@@ -228,10 +228,14 @@ def _candidate_grid(rng, G=16):
 @harness("replay")
 def _replay(contract):
     @given(
-        raw=_trace_shapes, nics=st.booleans(), gap=st.booleans(), faulted=st.booleans()
+        raw=_trace_shapes,
+        nics=st.booleans(),
+        gap=st.booleans(),
+        faulted=st.booleans(),
+        open_=st.booleans(),
     )
     @settings(max_examples=15, deadline=None)
-    def test(raw, nics, gap, faulted):
+    def test(raw, nics, gap, faulted, open_):
         spec = ClusterSpec(num_hservers=2, num_sservers=2, model_client_nics=nics)
         trace = Trace(
             [
@@ -260,11 +264,13 @@ def _replay(contract):
                 keep_latencies=True,
                 barrier_gap=5.0 if gap else None,
                 fault_plan=_FAULT_PLAN if faulted else None,
+                open_arrivals=open_,
             )
             runs[engine] = (metrics, pfs)
         (em, epfs), (fm, fpfs) = runs["event"], runs["flat"]
         assert fm.makespan == em.makespan
         assert fm.latencies == em.latencies
+        assert fm.latency_ranks == em.latency_ranks
         assert fm.per_server_latencies == em.per_server_latencies
         assert fm.per_server_busy == em.per_server_busy
         assert fm.per_server_bytes == em.per_server_bytes

@@ -179,6 +179,61 @@ class TestPropertyEquivalence:
         assert_identical(event, flat)
 
 
+class TestOpenArrivalEquivalence:
+    """Open-loop replay must stay bit-identical across engines."""
+
+    @given(raw=traces, nics=st.booleans(), gap=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_open_arrivals_flat_equals_event(self, raw, nics, gap):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2, model_client_nics=nics)
+        trace = Trace(
+            [
+                rec(off * 16 * KiB, size * 16 * KiB, phase * 10.0, rank=rank, op=op)
+                for off, size, phase, rank, op in raw
+            ]
+        )
+        event, flat = run_both(
+            spec,
+            lambda: simple_view(spec, stripe=32 * KiB),
+            trace,
+            keep_latencies=True,
+            barrier_gap=5.0 if gap else None,
+            open_arrivals=True,
+        )
+        assert_identical(event, flat)
+        assert flat[0].latency_ranks == event[0].latency_ranks
+
+    def test_open_arrivals_defer_issue_to_timestamps(self):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        trace = Trace([rec(0, 16 * KiB, 0.0), rec(64 * KiB, 16 * KiB, 50.0)])
+        closed = run_workload(spec, simple_view(spec), trace)
+        opened = run_workload(
+            spec, simple_view(spec), trace, open_arrivals=True
+        )
+        assert opened.makespan > closed.makespan
+        assert opened.makespan >= 50.0
+        assert opened.total_bytes == closed.total_bytes
+
+    def test_latency_ranks_label_every_latency(self):
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        trace = Trace(
+            [rec(i * 64 * KiB, 16 * KiB, 0.0, rank=i % 3) for i in range(9)]
+        )
+        metrics = run_workload(
+            spec, simple_view(spec), trace, keep_latencies=True
+        )
+        assert len(metrics.latency_ranks) == len(metrics.latencies)
+        assert sorted(metrics.latency_ranks) == sorted(r.rank for r in trace)
+        for rank in (0, 1, 2):
+            group = metrics.group_latencies([rank])
+            assert len(group) == 3
+            assert metrics.group_latency_percentile([rank], 100.0) == max(group)
+        assert metrics.group_latencies([99]) == []
+        assert metrics.group_latency_percentile([99], 99.0) == 0.0
+        with pytest.raises(ValueError):
+            metrics.group_latency_percentile([0], 101.0)
+
+
 class TestFaultEquivalence:
     """Fault injection must preserve engine bit-identity."""
 

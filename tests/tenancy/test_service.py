@@ -1,0 +1,222 @@
+"""The serve scenario end to end: determinism, sharding, fairness."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.exceptions import LayoutError
+from repro.layouts.batch import MergedRuns
+from repro.tenancy import (
+    RANK_STRIDE,
+    TenantRoutingView,
+    TenantSpec,
+    build_tenants,
+    make_tenants,
+    serve_scenario,
+    tenant_of_rank,
+)
+
+SPEC = ClusterSpec(num_hservers=2, num_sservers=2)
+N = 16
+
+
+def serve(**kwargs):
+    defaults = dict(spec=SPEC, tenants=N, max_active=6)
+    defaults.update(kwargs)
+    return serve_scenario(**defaults)
+
+
+class TestDeterminism:
+    def test_two_runs_digest_identical(self):
+        assert serve().digest() == serve().digest()
+
+    def test_sharded_equals_single_process_bit_identical(self):
+        serial = serve(n_jobs=1)
+        sharded = serve(n_jobs=4)
+        assert serial.digest() == sharded.digest()
+        # bit-identical all the way down, not just through the hash
+        assert serial.metrics.makespan == sharded.metrics.makespan
+        assert serial.metrics.latencies == sharded.metrics.latencies
+        assert serial.metrics.latency_ranks == sharded.metrics.latency_ranks
+        assert serial.tenants == sharded.tenants
+
+    def test_event_engine_matches_flat(self):
+        assert serve(engine="event").digest() == serve(engine="flat").digest()
+
+    def test_arrival_seed_changes_results(self):
+        assert serve().digest() != serve(arrival_seed=99).digest()
+
+
+class TestFairnessInvariants:
+    def test_no_tenant_starves(self):
+        report = serve()
+        assert report.tenants
+        for t in report.tenants:
+            assert t.requests > 0
+            assert t.completed == t.requests  # every request finished
+            assert t.p99 > 0.0
+
+    def test_every_tenant_attributed(self):
+        report = serve()
+        assert len(report.tenants) == N
+        assert report.total_requests == sum(t.requests for t in report.tenants)
+        assert len(report.metrics.latencies) == report.total_requests
+
+    def test_admission_bounds_concurrency(self):
+        open_door = serve(max_active=N)
+        squeezed = serve(max_active=1)
+        assert all(t.admission_delay == 0.0 for t in open_door.tenants)
+        assert any(t.admission_delay > 0.0 for t in squeezed.tenants)
+        assert squeezed.makespan > open_door.makespan
+
+    def test_report_figures_cover_the_surface(self):
+        report = serve()
+        names = {f.figure for f in report.figures}
+        assert names == {
+            "serve-bw",
+            "serve-tails",
+            "serve-fairness",
+            "serve-tenants",
+            "serve-admission",
+        }
+        fairness = next(f for f in report.figures if f.figure == "serve-fairness")
+        shares = [fairness.value(k, "bytes") for k in ("hot", "tail")]
+        assert sum(shares) == pytest.approx(1.0)
+
+
+class TestQuotaEnforcement:
+    def test_tail_quota_demotes_to_hdd(self):
+        builds = build_tenants(SPEC, make_tenants(4, hot_fraction=0.5))
+        tails = [b for b in builds if b.klass == "tail"]
+        hots = [b for b in builds if b.klass == "hot"]
+        assert tails and hots
+        for b in tails:  # default tail quota binds: rebuilt HDD-only
+            assert b.demoted
+            assert b.ssd_bytes == 0
+        for b in hots:  # unlimited quota: SSD use intact
+            assert not b.demoted
+            assert b.ssd_bytes > 0
+
+    def test_unquotad_fleet_keeps_ssd_placement(self):
+        fleet = tuple(
+            TenantSpec(tenant=k, klass="tail", scheme="AAL", share=0.25)
+            for k in range(4)
+        )
+        builds = build_tenants(SPEC, fleet)
+        assert all(not b.demoted for b in builds)
+        assert all(b.ssd_bytes > 0 for b in builds)
+
+    def test_quota_respected_in_full_serve(self):
+        report = serve()
+        assert any(t.demoted for t in report.tenants if t.klass == "tail")
+
+
+class TestMDSNamespaces:
+    def test_namespace_per_tenant_registered(self):
+        import repro.tenancy.service as service_mod
+
+        captured = {}
+        original = service_mod.replay_trace
+
+        def spy(pfs, *args, **kwargs):
+            captured["mds"] = pfs.mds
+            return original(pfs, *args, **kwargs)
+
+        service_mod.replay_trace = spy
+        try:
+            serve()
+        finally:
+            service_mod.replay_trace = original
+        mds = captured["mds"]
+        assert mds.namespaces() == tuple(range(N))
+        for tenant in mds.namespaces():
+            mds.rst_for(tenant)  # registered, possibly empty
+
+    def test_mds_namespace_api(self):
+        from repro.core.rst import RST, StripePair
+        from repro.exceptions import ConfigurationError
+        from repro.pfs.mds import MetaDataServer
+        from repro.simulate import Simulator
+
+        mds = MetaDataServer(Simulator())
+        rst = RST()
+        rst.set("r0", StripePair(4096, 8192))
+        mds.register_namespace(0, rst)
+        mds.register_namespace(1)
+        assert mds.namespaces() == (0, 1)
+        assert mds.rst_for(0).get("r0") == StripePair(4096, 8192)
+        assert mds.drt_for(0) is None
+        _, pair = mds.lookup("r0", tenant=0)
+        assert pair == StripePair(4096, 8192)
+        _, missing = mds.lookup("r0", tenant=1)
+        assert missing is None
+        _, global_miss = mds.lookup("r0")
+        assert global_miss is None
+        with pytest.raises(ConfigurationError):
+            mds.register_namespace(0)
+        with pytest.raises(ConfigurationError):
+            mds.rst_for(9)
+
+
+class TestTenantRoutingView:
+    def make_view(self):
+        builds = build_tenants(SPEC, make_tenants(2, hot_fraction=1.0))
+        runs = {}
+        requests = {}
+        for b in builds:
+            runs.update(b.runs_by_file)
+            requests.update(b.requests_by_file)
+        return TenantRoutingView(runs, requests), builds
+
+    def test_serves_premapped_batches(self):
+        view, builds = self.make_view()
+        b = builds[0]
+        (file, pairs), = b.requests_by_file.items()
+        runs = view.merged_runs(file, [p[0] for p in pairs], [p[1] for p in pairs])
+        assert runs is b.runs_by_file[file]
+        frags = view.map_request(file, pairs[0][0], pairs[0][1])
+        assert frags == runs.subrequests(0)
+
+    def test_unknown_file_and_diverged_batches_rejected(self):
+        view, builds = self.make_view()
+        (file, pairs), = builds[0].requests_by_file.items()
+        with pytest.raises(LayoutError, match="no premapped"):
+            view.merged_runs("nope", [0], [1])
+        with pytest.raises(LayoutError, match="diverged"):
+            view.merged_runs(file, [pairs[0][0] + 7], [pairs[0][1]])
+        with pytest.raises(LayoutError, match="never premapped"):
+            view.map_request(file, 10**9, 1)
+
+    def test_mismatched_construction_rejected(self):
+        empty = MergedRuns(
+            servers=[], objs=[], offsets=[], lengths=[],
+            first_logicals=[], starts=[0], n_fragments=0,
+        )
+        with pytest.raises(LayoutError):
+            TenantRoutingView({"f": empty}, {})
+        with pytest.raises(LayoutError):
+            TenantRoutingView({"f": empty}, {"f": ((0, 1),)})
+
+
+class TestInterference:
+    def test_tenants_contend_on_shared_servers(self):
+        # the same fleet overlapped vs admission-serialized: overlapping
+        # tenants queue behind each other on the shared servers
+        overlapped = serve(max_active=N)
+        serialized = serve(max_active=1)
+        assert max(t.p99 for t in overlapped.tenants) > max(
+            t.p99 for t in serialized.tenants
+        )
+
+    def test_rank_attribution_is_consistent(self):
+        report = serve()
+        for latency_rank in report.metrics.latency_ranks:
+            assert 0 <= tenant_of_rank(latency_rank, RANK_STRIDE) < N
+
+
+class TestScale:
+    def test_couple_hundred_tenants_replay_fully(self):
+        report = serve_scenario(spec=SPEC, tenants=200, max_active=32, n_jobs=None)
+        assert report.num_tenants == 200
+        assert report.total_requests == sum(t.requests for t in report.tenants)
+        assert all(t.completed == t.requests for t in report.tenants)
+        assert report.digest()

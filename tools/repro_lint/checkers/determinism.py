@@ -75,11 +75,13 @@ class DeterminismChecker(Checker):
     name = "determinism"
     description = (
         "no wall-clock reads or unseeded/magic-seeded RNGs in "
-        "simulate/, pfs/, online/, schemes/"
+        "simulate/, pfs/, online/, schemes/, tenancy/"
     )
 
     def applies_to(self, ctx) -> bool:
-        return not ctx.is_test and ctx.in_dir("simulate", "pfs", "online", "schemes")
+        return not ctx.is_test and ctx.in_dir(
+            "simulate", "pfs", "online", "schemes", "tenancy"
+        )
 
     def check(self, ctx) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):
