@@ -18,7 +18,12 @@ pipeline and the search-based schemes share:
 * worker exceptions are re-raised as :class:`RegionSearchError` carrying
   the *region label* of the failing item, with the original exception
   chained, so a failure in one of hundreds of concurrent searches still
-  says exactly which region broke.
+  says exactly which region broke;
+* under ``REPRO_SANITIZE=1`` (see :mod:`repro.determinism`) every
+  worker's seed-lineage/draw-count ledger is captured per item and
+  merged back into the parent's, so a sharded run's ledger is
+  byte-comparable to a serial run's — the ``sanitize-report`` CLI
+  diffs the two.
 """
 
 from __future__ import annotations
@@ -28,8 +33,10 @@ import pickle
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from functools import partial
 from typing import TypeVar
 
+from ..determinism import ledger, reset_ledger, sanitize_enabled
 from ..exceptions import ConfigurationError, ReproError
 
 __all__ = ["RegionSearchError", "resolve_jobs", "parallel_map", "JOBS_ENV_VAR"]
@@ -68,6 +75,21 @@ def resolve_jobs(n_jobs: int | None = None) -> int:
     if n_jobs < 1:
         raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
     return n_jobs
+
+
+def _sanitized_call(
+    fn: Callable[[T], R], item: T
+) -> tuple[R, dict[str, dict[str, int]]]:
+    """Worker-side shim under ``REPRO_SANITIZE=1``.
+
+    Captures exactly the seed lineages and draw counts this one item
+    produced (the worker ledger is reset first, because pool processes
+    are reused across items) and ships them back with the result, so
+    the parent's merged ledger is identical to a serial run's.
+    """
+    reset_ledger()
+    result = fn(item)
+    return result, ledger().snapshot()
 
 
 def _run_serial(
@@ -127,12 +149,22 @@ def parallel_map(
         # platforms without working process pools (restricted sandboxes,
         # missing POSIX semaphores) run the same tasks serially
         return _run_serial(fn, items, labels)
+    sanitizing = sanitize_enabled()
+    submit_fn: Callable[[T], object] = (
+        partial(_sanitized_call, fn) if sanitizing else fn
+    )
     try:
-        futures = [executor.submit(fn, item) for item in items]
+        futures = [executor.submit(submit_fn, item) for item in items]
         results: list[R] = []
         for future, label in zip(futures, labels):
             try:
-                results.append(future.result())
+                outcome = future.result()
+                if sanitizing:
+                    result, entries = outcome  # type: ignore[misc]
+                    ledger().merge(entries)
+                    results.append(result)
+                else:
+                    results.append(outcome)  # type: ignore[arg-type]
             except (BrokenProcessPool, pickle.PicklingError):
                 # pool infrastructure failed (not the task itself):
                 # recompute everything serially — tasks are pure, so

@@ -2,8 +2,10 @@
 
 A plan is a tuple of :mod:`~repro.faults.models` entries plus one seed.
 Compilation is deterministic and *per-model* independent: model ``i``
-draws from ``default_rng([seed, i])``, so adding or removing one model
-never changes what the others draw.  Plans are frozen and picklable —
+draws from ``derive_rng(SeedDomain.FAULTS, i, base=seed)`` (see
+:mod:`repro.determinism`), so adding or removing one model never
+changes what the others draw, and no other subsystem can alias a fault
+stream.  Plans are frozen and picklable —
 :func:`repro.harness.experiment.compare_schemes` ships them to worker
 processes — and round-trip through plain dicts for the chaos CLI.
 
@@ -24,9 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
 
-import numpy as np
-
 from ..config import DEFAULT_FAULT_SEED
+from ..determinism import SeedDomain, derive_rng
 from ..exceptions import ConfigurationError
 from .models import FaultModel, ServerTimeline, model_from_dict, model_to_dict
 from .state import ServerFaultState
@@ -67,7 +68,7 @@ class FaultPlan:
                     f"fault model {index} targets server {model.server}, but the "
                     f"cluster has servers 0..{num_servers - 1}"
                 )
-            rng = np.random.default_rng([self.seed, index])
+            rng = derive_rng(SeedDomain.FAULTS, index, base=self.seed)
             timeline = timelines.setdefault(model.server, ServerTimeline())
             model.apply(timeline, rng)
         return {server: tl.build() for server, tl in sorted(timelines.items())}

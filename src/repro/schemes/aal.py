@@ -17,11 +17,12 @@ The winning stripe is applied identically to all servers.
 
 Determinism contract: building an AAL layout is a pure function of the
 ``(spec, trace)`` inputs.  Traces longer than ``max_eval_requests`` are
-subsampled before the stripe search, and that subsample is drawn from a
-generator seeded with :data:`repro.config.DEFAULT_SAMPLE_SEED` — never
-from an unseeded or inline-literal-seeded RNG — so repeated builds over
-the same trace pick the same requests and land on the same stripe.
-repro-lint's RL001 rule enforces this contract mechanically.
+subsampled before the stripe search, and that subsample is drawn from
+``derive_rng(SeedDomain.SAMPLE, base=DEFAULT_SAMPLE_SEED)`` — the
+central lineage registry of :mod:`repro.determinism`, never an
+unseeded or inline-literal-seeded RNG — so repeated builds over the
+same trace pick the same requests and land on the same stripe.
+repro-lint's RL001 and RL201 rules enforce this contract mechanically.
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ import numpy as np
 from ..cluster import ClusterSpec
 from ..config import DEFAULT_SAMPLE_SEED
 from ..core.cost_model import burst_costs
+from ..determinism import SeedDomain, derive_rng
 from ..core.params import CostModelParams
 from ..tracing.analysis import burst_ids_of
 from ..layouts.fixed import FixedStripeLayout
@@ -80,7 +82,7 @@ class AALScheme(Scheme):
         is_read = np.array([r.op == "read" for r in trace], dtype=bool)
         bursts = np.array([burst_map[r] for r in trace], dtype=np.int64)
         if len(trace) > self.max_eval_requests:
-            rng = np.random.default_rng(DEFAULT_SAMPLE_SEED)
+            rng = derive_rng(SeedDomain.SAMPLE, base=DEFAULT_SAMPLE_SEED)
             pick = rng.choice(len(trace), size=self.max_eval_requests, replace=False)
             offsets, lengths, is_read, bursts = (
                 offsets[pick], lengths[pick], is_read[pick], bursts[pick],

@@ -12,9 +12,10 @@ optional uniformly jittered start offset so tenants launched together
 do not phase-lock).
 
 Determinism contract: tenant ``k`` passes ``stream=k`` and the rewrite
-draws from ``default_rng([seed, stream])``, so each tenant's arrival
-stream is independent of every other's yet byte-reproducible on any
-worker process.  Record *order* is preserved — arrival times are a
+draws from ``derive_rng(SeedDomain.ARRIVALS, stream, base=seed)`` (the
+central lineage registry of :mod:`repro.determinism`), so each
+tenant's arrival stream is independent of every other's — and of every
+fault/sampling stream — yet byte-reproducible on any worker process.  Record *order* is preserved — arrival times are a
 strictly increasing rewrite of the ``sorted_by_time`` order — which is
 what lets premapped per-file request runs survive the rewrite.
 """
@@ -26,6 +27,7 @@ from dataclasses import replace
 import numpy as np
 
 from ..config import DEFAULT_ARRIVAL_SEED
+from ..determinism import SeedDomain, derive_rng
 from ..devices.base import OpType
 from ..exceptions import TraceError
 from ..tracing.record import Trace
@@ -47,14 +49,15 @@ def poisson_arrival_times(
 
     Exponential inter-arrival gaps with mean ``1 / rate``, beginning at
     ``start`` plus a ``U[0, jitter)`` launch offset.  The generator is
-    derived from ``[seed, stream]`` so distinct streams are independent
-    and each is reproducible in isolation.
+    derived from ``(SeedDomain.ARRIVALS, stream)`` under the ``seed``
+    root, so distinct streams are independent and each is reproducible
+    in isolation.
     """
     if rate <= 0.0:
         raise TraceError(f"arrival rate must be > 0, got {rate}")
     if jitter < 0.0:
         raise TraceError(f"jitter must be >= 0, got {jitter}")
-    rng = np.random.default_rng([seed, stream])
+    rng = derive_rng(SeedDomain.ARRIVALS, stream, base=seed)
     offset = start + (float(rng.uniform(0.0, jitter)) if jitter > 0.0 else 0.0)
     times = offset + np.cumsum(rng.exponential(1.0 / rate, n))
     return [float(t) for t in times]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..determinism import SeedDomain, derive_rng
 from ..devices.base import READ, WRITE
 from ..exceptions import ConfigurationError
 from ..tracing.record import Trace
@@ -58,7 +59,7 @@ class CholeskyWorkload(Workload):
 
     def trace(self, op: str | None = None) -> Trace:
         builder = TraceBuilder()
-        rng = np.random.default_rng(self.seed)
+        rng = derive_rng(SeedDomain.CHOLESKY, base=self.seed)
         # one size schedule shared by all ranks per panel keeps phases
         # aligned (the solver's panels are global); bounds are exact
         read_sizes = self._sizes(READ_BOUNDS, self.panels, rng)

@@ -23,8 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
+from ..determinism import SeedDomain, derive_rng
 from ..devices.base import OpType
 from ..exceptions import ConfigurationError
 from ..tracing.record import Trace
@@ -94,7 +93,7 @@ class IORWorkload(Workload):
                 "total_size too small for even one request"
             )
         if self.randomize_offsets:
-            rng = np.random.default_rng(self.seed)
+            rng = derive_rng(SeedDomain.IOR, base=self.seed)
             # shuffle which slot is issued when, keeping slots disjoint
             order = rng.permutation(len(slots))
             slots = [slots[i] for i in order]

@@ -640,6 +640,8 @@ class TestCLI:
         for rule in (
             "RL001", "RL002", "RL003", "RL004", "RL005",
             "RL101", "RL102", "RL103", "RL104",
+            "RL201", "RL202", "RL203",
+            "RL211", "RL212", "RL213",
         ):
             assert rule in out
 
@@ -772,3 +774,420 @@ class TestRepositoryIsClean:
             text=True,
         )
         assert result.returncode == 0, result.stdout + result.stderr
+
+
+# -- RL201 seed derivation ------------------------------------------------
+
+FAULTS = "src/repro/faults/example.py"  # seeded-subsystem scope for RL2xx
+
+
+class TestRL201:
+    def test_list_seeding_flagged(self):
+        # the pre-registry faults/arrivals pattern
+        src = (
+            "import numpy as np\n\n"
+            "def f(seed, k):\n"
+            "    return np.random.default_rng([seed, k])\n"
+        )
+        assert "RL201" in rules_of(src, FAULTS)
+
+    def test_named_scalar_seed_flagged(self):
+        # passes RL001 (auditable) but still bypasses the registry
+        src = (
+            "import numpy as np\n"
+            "from repro.config import DEFAULT_SAMPLE_SEED\n\n"
+            "rng = np.random.default_rng(DEFAULT_SAMPLE_SEED)\n"
+        )
+        assert "RL201" in rules_of(src, FAULTS)
+
+    def test_derive_rng_ok(self):
+        src = (
+            "from repro.determinism import SeedDomain, derive_rng\n\n"
+            "def f(i, seed):\n"
+            "    return derive_rng(SeedDomain.FAULTS, i, base=seed)\n"
+        )
+        assert "RL201" not in rules_of(src, FAULTS)
+
+    def test_default_rng_of_derive_seed_ok(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.determinism import SeedDomain, derive_seed\n\n"
+            "def f(i):\n"
+            "    return np.random.default_rng("
+            "derive_seed(SeedDomain.FAULTS, i))\n"
+        )
+        assert "RL201" not in rules_of(src, FAULTS)
+
+    def test_core_and_tests_out_of_scope(self):
+        src = "import numpy as np\n\nrng = np.random.default_rng(seed)\n"
+        assert "RL201" not in rules_of(src, CORE)
+        assert "RL201" not in rules_of(src, "tests/faults/test_x.py")
+
+    def test_suppression(self):
+        src = (
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng(seed)"
+            "  # repro-lint: disable=RL201,RL001\n"
+        )
+        assert "RL201" not in rules_of(src, FAULTS)
+
+
+# -- RL202 lineage aliasing -----------------------------------------------
+
+
+class TestRL202:
+    def test_two_sites_same_domain_and_arity_flagged(self):
+        src = (
+            "from repro.determinism import SeedDomain, derive_rng, derive_seed\n\n"
+            "def a(i):\n"
+            "    return derive_rng(SeedDomain.FAULTS, i, base=1)\n\n"
+            "def b(j):\n"
+            "    return derive_seed(SeedDomain.FAULTS, j, base=2)\n"
+        )
+        assert "RL202" in rules_of(src, FAULTS)
+
+    def test_distinct_arity_ok(self):
+        src = (
+            "from repro.determinism import SeedDomain, derive_rng\n\n"
+            "def a(i):\n"
+            "    return derive_rng(SeedDomain.FAULTS, i, base=1)\n\n"
+            "def b():\n"
+            "    return derive_rng(SeedDomain.FAULTS, base=2)\n"
+        )
+        assert "RL202" not in rules_of(src, FAULTS)
+
+    def test_distinct_domains_ok(self):
+        src = (
+            "from repro.determinism import SeedDomain, derive_rng\n\n"
+            "def a(i):\n"
+            "    return derive_rng(SeedDomain.FAULTS, i)\n\n"
+            "def b(j):\n"
+            "    return derive_rng(SeedDomain.ARRIVALS, j)\n"
+        )
+        assert "RL202" not in rules_of(src, FAULTS)
+
+    def test_duplicate_enum_tag_flagged(self):
+        src = (
+            "import enum\n\n"
+            "class SeedDomain(enum.Enum):\n"
+            "    FAULTS = \"faults\"\n"
+            "    CHAOS = \"faults\"\n"
+        )
+        assert "RL202" in rules_of(src, "src/repro/determinism.py")
+
+
+# -- RL203 rng across task boundary ---------------------------------------
+
+
+class TestRL203:
+    def test_rng_captured_in_lambda_flagged(self):
+        src = (
+            "from repro.determinism import SeedDomain, derive_rng\n"
+            "from repro.core.parallel import parallel_map\n\n"
+            "def run(items, work):\n"
+            "    rng = derive_rng(SeedDomain.FAULTS, 0, base=1)\n"
+            "    return parallel_map(lambda it: work(it, rng), items)\n"
+        )
+        assert "RL203" in rules_of(src, CORE)
+
+    def test_rng_as_direct_argument_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "from functools import partial\n"
+            "from repro.core.parallel import parallel_map\n\n"
+            "def run(items, work, seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return parallel_map(partial(work, rng), items)\n"
+        )
+        assert "RL203" in rules_of(src, CORE)
+
+    def test_worker_side_derivation_ok(self):
+        src = (
+            "from repro.core.parallel import parallel_map\n\n"
+            "def run(specs, work):\n"
+            "    return parallel_map(work, specs)\n"
+        )
+        assert "RL203" not in rules_of(src, CORE)
+
+    def test_rng_outside_call_ok(self):
+        src = (
+            "from repro.determinism import SeedDomain, derive_rng\n"
+            "from repro.core.parallel import parallel_map\n\n"
+            "def run(specs, work):\n"
+            "    rng = derive_rng(SeedDomain.FAULTS, 0)\n"
+            "    out = parallel_map(work, specs)\n"
+            "    return [o + rng.random() for o in out]\n"
+        )
+        assert "RL203" not in rules_of(src, CORE)
+
+
+# -- RL211 set iteration order --------------------------------------------
+
+
+class TestRL211:
+    DIGEST_FN = (
+        "import hashlib\n\n"
+        "def digest(names):\n"
+        "    uniq = set(names)\n"
+        "    h = hashlib.sha256()\n"
+        "    for n in {LOOP}:\n"
+        "        h.update(n.encode())\n"
+        "    return h.hexdigest()\n"
+    )
+
+    def test_unsorted_set_into_digest_flagged(self):
+        src = self.DIGEST_FN.replace("{LOOP}", "uniq")
+        assert "RL211" in rules_of(src, CORE)
+
+    def test_sorted_set_ok(self):
+        src = self.DIGEST_FN.replace("{LOOP}", "sorted(uniq)")
+        assert "RL211" not in rules_of(src, CORE)
+
+    def test_set_literal_in_comprehension_flagged(self):
+        src = (
+            "from repro.determinism import SeedDomain, derive_seed\n\n"
+            "def seeds(a, b):\n"
+            "    return [derive_seed(SeedDomain.FAULTS, x)"
+            " for x in {a, b}]\n"
+        )
+        assert "RL211" in rules_of(src, CORE)
+
+    def test_function_without_markers_not_flagged(self):
+        src = (
+            "def count(names):\n"
+            "    total = 0\n"
+            "    for n in set(names):\n"
+            "        total += 1\n"
+            "    return total\n"
+        )
+        assert "RL211" not in rules_of(src, CORE)
+
+    def test_list_iteration_ok(self):
+        src = (
+            "import hashlib\n\n"
+            "def digest(names):\n"
+            "    h = hashlib.sha256()\n"
+            "    for n in names:\n"
+            "        h.update(n.encode())\n"
+            "    return h.hexdigest()\n"
+        )
+        assert "RL211" not in rules_of(src, CORE)
+
+
+# -- RL212 directory listing order ----------------------------------------
+
+
+class TestRL212:
+    def test_bare_listdir_flagged(self):
+        src = (
+            "import os\n\n"
+            "def load(d):\n"
+            "    return [open(f) for f in os.listdir(d)]\n"
+        )
+        assert "RL212" in rules_of(src, CORE)
+
+    def test_glob_flagged(self):
+        src = (
+            "import glob\n\n"
+            "def load(pattern):\n"
+            "    return glob.glob(pattern)\n"
+        )
+        assert "RL212" in rules_of(src, CORE)
+
+    def test_path_iterdir_flagged(self):
+        src = (
+            "def load(root):\n"
+            "    return list(root.iterdir())\n"
+        )
+        assert "RL212" in rules_of(src, CORE)
+
+    def test_sorted_listing_ok(self):
+        src = (
+            "import glob\n"
+            "import os\n\n"
+            "def load(d, pattern, root):\n"
+            "    a = sorted(os.listdir(d))\n"
+            "    b = sorted(glob.glob(pattern))\n"
+            "    c = sorted(p for p in root.iterdir())\n"
+            "    return a, b, c\n"
+        )
+        assert "RL212" not in rules_of(src, CORE)
+
+    def test_tests_out_of_scope(self):
+        src = "import os\n\nfiles = os.listdir('.')\n"
+        assert "RL212" not in rules_of(src, TEST)
+
+
+# -- RL213 accumulation order ---------------------------------------------
+
+
+class TestRL213:
+    def test_sum_over_parallel_map_name_flagged(self):
+        src = (
+            "from repro.core.parallel import parallel_map\n\n"
+            "def total(items, work):\n"
+            "    parts = parallel_map(work, items)\n"
+            "    return sum(parts)\n"
+        )
+        assert "RL213" in rules_of(src, CORE)
+
+    def test_sum_over_parallel_map_call_flagged(self):
+        src = (
+            "from repro.core.parallel import parallel_map\n\n"
+            "def total(items, work):\n"
+            "    return sum(parallel_map(work, items))\n"
+        )
+        assert "RL213" in rules_of(src, CORE)
+
+    def test_fsum_ok(self):
+        src = (
+            "from math import fsum\n"
+            "from repro.core.parallel import parallel_map\n\n"
+            "def total(items, work):\n"
+            "    parts = parallel_map(work, items)\n"
+            "    return fsum(parts)\n"
+        )
+        assert "RL213" not in rules_of(src, CORE)
+
+    def test_sum_over_plain_list_ok(self):
+        src = (
+            "def total(values):\n"
+            "    return sum(values)\n"
+        )
+        assert "RL213" not in rules_of(src, CORE)
+
+    def test_suppressed_documented_guarantee_ok(self):
+        src = (
+            "from repro.core.parallel import parallel_map\n\n"
+            "def total(items, work):\n"
+            "    parts = parallel_map(work, items)\n"
+            "    # submission order is preserved; values are ints\n"
+            "    return sum(parts)  # repro-lint: disable=RL213\n"
+        )
+        assert "RL213" not in rules_of(src, CORE)
+
+
+# -- seeded-mutation drills for the RL2xx family --------------------------
+
+
+class TestSeedLineageMutation:
+    """The acceptance drill: introducing a colliding domain tag or
+    pickling an rng into parallel_map must flip the lint to failing."""
+
+    ENUM = (
+        "import enum\n\n"
+        "class SeedDomain(enum.Enum):\n"
+        "    SAMPLE = \"sample\"\n"
+        "    FAULTS = \"faults\"\n"
+    )
+
+    def write(self, tmp_path, source, rel="src/repro/determinism.py"):
+        mod = tmp_path / rel
+        mod.parent.mkdir(parents=True, exist_ok=True)
+        mod.write_text(source)
+        return mod
+
+    def test_clean_enum_passes(self, tmp_path):
+        mod = self.write(tmp_path, self.ENUM)
+        assert cli_main([str(mod)]) == 0
+
+    def test_colliding_tag_mutation_fails(self, tmp_path, capsys):
+        mutated = self.ENUM + "    CHAOS = \"faults\"\n"
+        mod = self.write(tmp_path, mutated)
+        assert cli_main([str(mod)]) == 1
+        assert "RL202" in capsys.readouterr().out
+
+    def test_rng_pickled_into_parallel_map_fails(self, tmp_path, capsys):
+        src = (
+            "from functools import partial\n"
+            "from repro.determinism import SeedDomain, derive_rng\n"
+            "from repro.core.parallel import parallel_map\n\n"
+            "def work(rng, item):\n"
+            "    return item + rng.random()\n\n"
+            "def run(items):\n"
+            "    rng = derive_rng(SeedDomain.SAMPLE, base=0)\n"
+            "    return parallel_map(partial(work, rng), items)\n"
+        )
+        mod = self.write(tmp_path, src, rel="src/repro/core/example.py")
+        assert cli_main([str(mod)]) == 1
+        assert "RL203" in capsys.readouterr().out
+
+
+# -- sanitize-report ------------------------------------------------------
+
+
+class TestSanitizeReport:
+    def ledger(self, entries):
+        return {"version": 1, "entries": entries}
+
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    ENTRY = {"seed": 11, "derivations": 1, "draws": 4}
+
+    def test_equivalent_ledgers_pass(self, tmp_path, capsys):
+        a = self.write(
+            tmp_path, "a.json", self.ledger({"faults|1|0": dict(self.ENTRY)})
+        )
+        # derivation counts may legitimately differ (workers re-derive)
+        b_entry = dict(self.ENTRY, derivations=3)
+        b = self.write(
+            tmp_path, "b.json", self.ledger({"faults|1|0": b_entry})
+        )
+        assert cli_main(["sanitize-report", a, b]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_draw_divergence_fails(self, tmp_path, capsys):
+        a = self.write(
+            tmp_path, "a.json", self.ledger({"faults|1|0": dict(self.ENTRY)})
+        )
+        b_entry = dict(self.ENTRY, draws=5)
+        b = self.write(
+            tmp_path, "b.json", self.ledger({"faults|1|0": b_entry})
+        )
+        assert cli_main(["sanitize-report", a, b]) == 1
+        assert "draws" in capsys.readouterr().out
+
+    def test_missing_lineage_fails(self, tmp_path, capsys):
+        a = self.write(
+            tmp_path,
+            "a.json",
+            self.ledger(
+                {
+                    "faults|1|0": dict(self.ENTRY),
+                    "faults|1|1": dict(self.ENTRY, seed=12),
+                }
+            ),
+        )
+        b = self.write(
+            tmp_path, "b.json", self.ledger({"faults|1|0": dict(self.ENTRY)})
+        )
+        assert cli_main(["sanitize-report", a, b]) == 1
+        assert "only in A" in capsys.readouterr().out
+
+    def test_seed_collision_fails(self, tmp_path, capsys):
+        entries = {
+            "faults|1|0": dict(self.ENTRY),
+            "arrivals|1|0": dict(self.ENTRY),  # same seed, distinct lineage
+        }
+        a = self.write(tmp_path, "a.json", self.ledger(entries))
+        b = self.write(tmp_path, "b.json", self.ledger(entries))
+        assert cli_main(["sanitize-report", a, b]) == 1
+        assert "collision" in capsys.readouterr().out
+
+    def test_bad_file_is_usage_error(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", {"version": 2})
+        b = self.write(
+            tmp_path, "b.json", self.ledger({"faults|1|0": dict(self.ENTRY)})
+        )
+        assert cli_main(["sanitize-report", a, b]) == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        b = self.write(
+            tmp_path, "b.json", self.ledger({"faults|1|0": dict(self.ENTRY)})
+        )
+        assert cli_main(
+            ["sanitize-report", str(tmp_path / "absent.json"), b]
+        ) == 2

@@ -1,12 +1,13 @@
 """RL001 — determinism inside the planning and replay subsystems.
 
-Planning (``schemes/``), simulation (``simulate/``, ``pfs/``) and the
-online controller (``online/``) must produce identical output for
-identical input: the paper's evaluation depends on replaying the same
-trace through the same plan, and the online feedback loop compounds any
-run-to-run jitter into divergent layouts.  Wall-clock reads and
-unseeded (or magic-literal-seeded) RNGs are the two ways nondeterminism
-leaks in.
+Planning (``schemes/``), simulation (``simulate/``, ``pfs/``), the
+online controller (``online/``), the tenancy service (``tenancy/``),
+and the seeded generators (``faults/``, ``workloads/``) must produce
+identical output for identical input: the paper's evaluation depends on
+replaying the same trace through the same plan, and the online feedback
+loop compounds any run-to-run jitter into divergent layouts.
+Wall-clock reads and unseeded (or magic-literal-seeded) RNGs are the
+two ways nondeterminism leaks in.
 
 Allowed: ``np.random.default_rng(SEED_NAME)`` / ``random.Random(SEED)``
 where the seed is a *named* value routed through configuration (see
@@ -75,12 +76,12 @@ class DeterminismChecker(Checker):
     name = "determinism"
     description = (
         "no wall-clock reads or unseeded/magic-seeded RNGs in "
-        "simulate/, pfs/, online/, schemes/, tenancy/"
+        "simulate/, pfs/, online/, schemes/, tenancy/, faults/, workloads/"
     )
 
     def applies_to(self, ctx) -> bool:
         return not ctx.is_test and ctx.in_dir(
-            "simulate", "pfs", "online", "schemes", "tenancy"
+            "simulate", "pfs", "online", "schemes", "tenancy", "faults", "workloads"
         )
 
     def check(self, ctx) -> Iterator[Diagnostic]:

@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m tools.repro_lint src tests``.
 
 Subcommand ``gen-twin-tests`` renders the differential twin suites
-(see :mod:`tools.repro_lint.gen_twin_tests`); everything else lints.
+(see :mod:`tools.repro_lint.gen_twin_tests`); ``sanitize-report`` diffs
+two runtime seed-lineage ledgers (see :mod:`tools.repro_lint.sanitize`);
+everything else lints.
 
 Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage error.
 """
@@ -62,6 +64,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .gen_twin_tests import main as gen_main
 
         return gen_main(argv[1:])
+    if argv and argv[0] == "sanitize-report":
+        from .sanitize import main as sanitize_main
+
+        return sanitize_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

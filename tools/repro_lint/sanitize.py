@@ -1,0 +1,167 @@
+"""``sanitize-report`` — diff two runtime seed-lineage ledgers.
+
+The runtime complement to RL201/RL202: two runs of the same command
+(serial vs ``--jobs N``, flat vs event engine) must derive exactly the
+same lineages and charge exactly the same number of draws to each.
+``REPRO_SANITIZE=1 REPRO_SANITIZE_OUT=<path>`` makes any repro CLI
+write its ledger at exit (see :mod:`repro.determinism`); this command
+compares two such files and fails on:
+
+* **lineage collision** — two distinct lineages in one ledger derived
+  the same 64-bit seed (astronomically unlikely unless someone bypassed
+  ``derive_seed``);
+* **lineage divergence** — a lineage derived in one run but not the
+  other (a worker derived a stream the serial run never did, or vice
+  versa);
+* **seed mismatch** — one lineage key mapping to different seeds
+  (impossible through ``derive_seed``; means a hand-built ledger or a
+  version skew);
+* **draw divergence** — the same lineage drew a different number of
+  variates in the two runs (an execution path consumed randomness it
+  should not have).
+
+Derivation *counts* are reported but not failed on: workers re-derive
+their streams per item, so a sharded run legitimately derives more
+often than a serial one — what must match is *which* lineages exist
+and *how much* randomness each consumed.
+
+Exit codes: 0 = equivalent, 1 = divergence/collision, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Mapping, Sequence
+
+__all__ = ["load_ledger", "compare_ledgers", "main"]
+
+#: required per-entry fields in a version-1 ledger file
+_ENTRY_FIELDS = ("seed", "derivations", "draws")
+
+
+class LedgerFormatError(ValueError):
+    """The file is not a version-1 sanitizer ledger."""
+
+
+def load_ledger(path: str) -> dict[str, dict[str, int]]:
+    """Read and validate a ledger JSON written by ``write_ledger``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise LedgerFormatError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise LedgerFormatError(
+            f"{path}: not a version-1 sanitizer ledger "
+            "(expected {'version': 1, 'entries': {...}})"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        raise LedgerFormatError(f"{path}: 'entries' must be an object")
+    validated: dict[str, dict[str, int]] = {}
+    for key, entry in entries.items():
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(f), int) for f in _ENTRY_FIELDS
+        ):
+            raise LedgerFormatError(
+                f"{path}: entry {key!r} must have integer "
+                f"{', '.join(_ENTRY_FIELDS)}"
+            )
+        validated[key] = {f: int(entry[f]) for f in _ENTRY_FIELDS}
+    return validated
+
+
+def _collisions(entries: Mapping[str, Mapping[str, int]]) -> list[str]:
+    by_seed: dict[int, str] = {}
+    problems: list[str] = []
+    for key in sorted(entries):
+        seed = entries[key]["seed"]
+        if seed in by_seed:
+            problems.append(
+                f"lineage collision: {by_seed[seed]!r} and {key!r} both "
+                f"derived seed {seed}"
+            )
+        else:
+            by_seed[seed] = key
+    return problems
+
+
+def compare_ledgers(
+    a: Mapping[str, Mapping[str, int]],
+    b: Mapping[str, Mapping[str, int]],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> list[str]:
+    """Human-readable failure lines; empty means the runs are equivalent."""
+    problems: list[str] = []
+    for label, entries in ((label_a, a), (label_b, b)):
+        problems.extend(f"[{label}] {line}" for line in _collisions(entries))
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    for key in only_a:
+        problems.append(f"lineage {key!r} derived only in {label_a}")
+    for key in only_b:
+        problems.append(f"lineage {key!r} derived only in {label_b}")
+    for key in sorted(set(a) & set(b)):
+        ea, eb = a[key], b[key]
+        if ea["seed"] != eb["seed"]:
+            problems.append(
+                f"lineage {key!r}: seed {ea['seed']} in {label_a} vs "
+                f"{eb['seed']} in {label_b}"
+            )
+        if ea["draws"] != eb["draws"]:
+            problems.append(
+                f"lineage {key!r}: {ea['draws']} draws in {label_a} vs "
+                f"{eb['draws']} in {label_b}"
+            )
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint sanitize-report",
+        description=(
+            "Diff two REPRO_SANITIZE ledgers; fail on lineage collision, "
+            "lineage/seed divergence, or draw-count divergence."
+        ),
+    )
+    parser.add_argument("ledger_a", help="first ledger JSON (e.g. serial run)")
+    parser.add_argument(
+        "ledger_b", help="second ledger JSON (e.g. --jobs N run)"
+    )
+    parser.add_argument(
+        "--label-a", default="A", help="display name for the first run"
+    )
+    parser.add_argument(
+        "--label-b", default="B", help="display name for the second run"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        ledger_a = load_ledger(args.ledger_a)
+        ledger_b = load_ledger(args.ledger_b)
+    except (OSError, LedgerFormatError) as exc:
+        print(f"sanitize-report: {exc}", file=sys.stderr)
+        return 2
+
+    problems = compare_ledgers(
+        ledger_a, ledger_b, label_a=args.label_a, label_b=args.label_b
+    )
+    if problems:
+        for line in problems:
+            print(line)
+        print(
+            f"sanitize-report: {len(problems)} divergence"
+            f"{'s' if len(problems) != 1 else ''}",
+            file=sys.stderr,
+        )
+        return 1
+    shared = len(set(ledger_a) & set(ledger_b))
+    draws = sum(entry["draws"] for entry in ledger_a.values())
+    print(
+        f"sanitize-report: OK — {shared} lineages, {draws} draws, "
+        "no collisions, runs equivalent"
+    )
+    return 0
