@@ -56,6 +56,8 @@ TWIN_KINDS = ("bit_identical", "reduction")
 TWIN_MODULES = (
     "repro.core.cost_model",
     "repro.core.drt",
+    "repro.core.features",
+    "repro.core.pipeline",
     "repro.core.redirector",
     "repro.faults.state",
     "repro.layouts.extents",
@@ -64,6 +66,8 @@ TWIN_MODULES = (
     "repro.pfs.system",
     "repro.schemes.base",
     "repro.simulate.resources",
+    "repro.tracing.columnar",
+    "repro.tracing.tracefile",
 )
 
 

@@ -13,11 +13,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import twin_of
 from ..numerics import replace_near_zero
 from ..tracing.analysis import concurrency_of
+from ..tracing.columnar import ColumnarTrace, concurrency_columnar
 from ..tracing.record import Trace
 
-__all__ = ["FeatureSet", "extract_features", "normalized_distances"]
+__all__ = [
+    "FeatureSet",
+    "extract_features",
+    "extract_features_columnar",
+    "normalized_distances",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +71,29 @@ def extract_features(
         for row, record in enumerate(trace):
             points[row, 0] = record.size
             points[row, 1] = conc[record]
+    spread = _spread(points)
+    return FeatureSet(points=points, spread=spread)
+
+
+@twin_of(
+    "repro.core.features:extract_features",
+    kind="bit_identical",
+    harness="features_columnar",
+)
+def extract_features_columnar(
+    trace: ColumnarTrace, gap: float = 0.5, spatial: bool | int = False
+) -> FeatureSet:
+    """Columnar :func:`extract_features` — same matrix, no record loop.
+
+    Sizes are exact integers and concurrency values are exact integer
+    counts, so the float64 feature matrix is bit-identical to the
+    record path's, spread included.
+    """
+    n = len(trace)
+    points = np.zeros((n, 2), dtype=np.float64)
+    if n:
+        points[:, 0] = trace.data["size"]
+        points[:, 1] = concurrency_columnar(trace, gap=gap, spatial=spatial)
     spread = _spread(points)
     return FeatureSet(points=points, spread=spread)
 

@@ -24,10 +24,17 @@ import numpy as np
 
 from ..cluster import ClusterSpec
 from ..config import DEFAULT_SAMPLE_SEED
+from ..contracts import twin_of
 from ..exceptions import ConfigurationError
 from ..layouts.base import Layout
 from ..layouts.fixed import FixedStripeLayout
 from ..tracing.analysis import burst_ids_of, concurrency_of
+from ..tracing.columnar import (
+    ColumnarTrace,
+    collapse_by_last_group,
+    concurrency_and_burst_ids,
+    identity_classes,
+)
 from ..tracing.record import Trace, TraceRecord
 from ..units import KiB
 from .determinator import (
@@ -37,14 +44,14 @@ from .determinator import (
     region_search_task,
 )
 from .drt import DRT, DRTEntry
-from .features import extract_features
+from .features import extract_features, extract_features_columnar
 from .grouping import DEFAULT_MAX_GROUPS, GroupingResult, group_requests, suggest_k
 from .intervals import IntervalSet
 from .parallel import parallel_map
 from .params import CostModelParams
 from .placer import place_regions
 from .redirector import Redirector
-from .reorganizer import ReorderPlan, reorganize
+from .reorganizer import ReorderPlan, reorganize, reorganize_arrays
 from .rst import RST
 
 __all__ = ["MHAPlan", "MHAPipeline", "OnlinePipeline", "identity_redirector", "load_plan"]
@@ -236,8 +243,82 @@ class MHAPipeline:
             ))
         return plan, grouping, region_names, search_tasks
 
-    def plan(self, trace: Trace) -> MHAPlan:
-        """Run reordering + determination + placement over a trace."""
+    @twin_of(
+        "repro.core.pipeline:MHAPipeline.plan_file",
+        kind="bit_identical",
+        harness="plan_file_columnar",
+    )
+    def plan_file_columnar(
+        self, file: str, sub: ColumnarTrace, drt: DRT
+    ) -> tuple[ReorderPlan, GroupingResult, list[str], list[RegionSearchTask]]:
+        """:meth:`plan_file` over a columnar trace — no record objects.
+
+        Identical outputs (plan, grouping, names, tasks): the feature
+        matrix is the :func:`extract_features_columnar` twin's, the
+        grouping runs the exact same array k-means, and the per-group
+        concurrency/burst assignment reproduces the reference's
+        dict-update semantics — including the cross-group collapse a
+        duplicate record triggers when later groups overwrite earlier
+        ones (reachable in the ``n <= k`` one-request-per-group branch).
+        """
+        features = extract_features_columnar(sub, gap=self.gap, spatial=self.spatial)
+        distinct = int(np.unique(features.points, axis=0).shape[0]) if len(sub) else 1
+        k = self.k if self.k is not None else suggest_k(
+            len(sub), distinct, self.max_groups
+        )
+        grouping = group_requests(features, k=k, seed=self.seed)
+        n = len(sub)
+        conc_arr = np.ones(n, dtype=np.int64)
+        burst_arr = np.full(n, -1, dtype=np.int64)
+        next_burst = 0
+        for g in range(grouping.k):
+            member_indices = grouping.members(g)
+            members = sub.take(member_indices)
+            conc_g, ids_g = concurrency_and_burst_ids(
+                members, gap=self.gap, spatial=self.spatial
+            )
+            conc_arr[member_indices] = conc_g
+            burst_arr[member_indices] = next_burst + ids_g
+            next_burst += int(ids_g.max()) + 1 if ids_g.size else 0
+        inverse, n_classes = identity_classes(sub)
+        if n_classes < n:
+            # duplicate records spanning groups: the reference's dicts
+            # keep the last group's value — collapse the same way
+            conc_arr = collapse_by_last_group(
+                conc_arr, grouping.labels, inverse, n_classes
+            )
+            burst_arr = collapse_by_last_group(
+                burst_arr, grouping.labels, inverse, n_classes
+            )
+        plan = reorganize_arrays(
+            sub, grouping, conc_arr, o_file=file, drt=drt, bursts=burst_arr
+        )
+        region_names: list[str] = []
+        search_tasks: list[RegionSearchTask] = []
+        for region in plan.regions:
+            offsets, lengths, is_read, concurrency, burst_ids = (
+                region.request_arrays()
+            )
+            region_names.append(region.name)
+            search_tasks.append((
+                self.params,
+                offsets,
+                lengths,
+                is_read,
+                concurrency,
+                burst_ids,
+                self.search_kwargs(),
+            ))
+        return plan, grouping, region_names, search_tasks
+
+    def plan(self, trace: "Trace | ColumnarTrace") -> MHAPlan:
+        """Run reordering + determination + placement over a trace.
+
+        Accepts either trace representation; the columnar one runs the
+        vectorized twins end-to-end and produces a bit-identical plan.
+        Either way the per-file sub-traces come from a single-pass
+        partition, not a per-file rescan of the whole trace.
+        """
         drt = DRT(self.drt_path) if self.drt_path else DRT()
         rst = RST(self.rst_path) if self.rst_path else RST()
         reorder_plans: dict[str, ReorderPlan] = {}
@@ -247,14 +328,26 @@ class MHAPipeline:
         region_names: list[str] = []
         search_tasks: list[RegionSearchTask] = []
 
-        for file in trace.files():
-            sub = trace.for_file(file).sorted_by_offset()
-            original_layouts[file] = self._original_layout(file)
-            plan, grouping, names, tasks = self.plan_file(file, sub, drt)
-            reorder_plans[file] = plan
-            groupings[file] = grouping
-            region_names.extend(names)
-            search_tasks.extend(tasks)
+        if isinstance(trace, ColumnarTrace):
+            for file, indices in trace.file_partition().items():
+                sub_col = trace.take(indices).sorted_by_offset()
+                original_layouts[file] = self._original_layout(file)
+                plan, grouping, names, tasks = self.plan_file_columnar(
+                    file, sub_col, drt
+                )
+                reorder_plans[file] = plan
+                groupings[file] = grouping
+                region_names.extend(names)
+                search_tasks.extend(tasks)
+        else:
+            for file, sub_records in trace.partition_by_file().items():
+                sub = sub_records.sorted_by_offset()
+                original_layouts[file] = self._original_layout(file)
+                plan, grouping, names, tasks = self.plan_file(file, sub, drt)
+                reorder_plans[file] = plan
+                groupings[file] = grouping
+                region_names.extend(names)
+                search_tasks.extend(tasks)
 
         # Determination: every region's RSSD search is independent, so
         # fan the accumulated searches (across all files) out to the

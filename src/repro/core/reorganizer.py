@@ -29,12 +29,19 @@ import numpy as np
 
 from ..devices.base import READ
 from ..exceptions import ConfigurationError
+from ..tracing.columnar import OP_NAMES, ColumnarTrace
 from ..tracing.record import Trace, TraceRecord
 from .drt import DRT, DRTEntry
 from .grouping import GroupingResult
 from .intervals import IntervalSet
 
-__all__ = ["RegionRequest", "RegionPlan", "ReorderPlan", "reorganize"]
+__all__ = [
+    "RegionRequest",
+    "RegionPlan",
+    "ReorderPlan",
+    "reorganize",
+    "reorganize_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -217,5 +224,110 @@ def reorganize(
 
     # drop regions that ended up empty (possible when another group
     # claimed every byte the group touched)
+    regions = [r for r in regions if r.size > 0 or r.requests]
+    return ReorderPlan(o_file=o_file, regions=regions, drt=drt, migrated_bytes=migrated)
+
+
+def reorganize_arrays(
+    trace: ColumnarTrace,
+    grouping: GroupingResult,
+    concurrency: np.ndarray,
+    o_file: str | None = None,
+    drt: DRT | None = None,
+    bursts: np.ndarray | None = None,
+) -> ReorderPlan:
+    """:func:`reorganize` over a columnar trace — same plan, no records.
+
+    ``concurrency``/``bursts`` are index-aligned per-request arrays
+    (the columnar stand-ins for the reference's record-keyed mappings).
+    The output :class:`ReorderPlan` — regions, requests, DRT entries,
+    migrated bytes — is identical to the record path's, and phase 2
+    goes through :meth:`~repro.core.drt.DRT.translate_many`, whose
+    twin contract guarantees identical cache accounting too.
+    """
+    if len(grouping.labels) != len(trace):
+        raise ConfigurationError(
+            f"grouping labels ({len(grouping.labels)}) do not match trace "
+            f"({len(trace)} records)"
+        )
+    files = trace.files()
+    if len(files) > 1:
+        raise ConfigurationError(
+            f"reorganize expects a single-file trace, got files {files}"
+        )
+    if o_file is None:
+        o_file = files[0] if files else "file"
+    if drt is None:
+        drt = DRT()
+
+    d = trace.data
+    off = d["offset"]
+    ts = d["timestamp"]
+    off_list = off.tolist()
+    size_list = d["size"].tolist()
+    op_list = d["op"].tolist()
+
+    claimed = IntervalSet()
+    regions = [
+        RegionPlan(name=region_name(o_file, g), group=g)
+        for g in range(grouping.k)
+    ]
+    migrated = 0
+
+    # Phase 1 — claim bytes group by group, offset order inside a group.
+    # np.lexsort is stable, matching the reference's sorted() on the
+    # (offset, timestamp) key over ascending member indices.
+    for region in regions:
+        member_indices = grouping.members(region.group)
+        order = np.lexsort((ts[member_indices], off[member_indices]))
+        for i in member_indices[order].tolist():
+            start = off_list[i]
+            for gap_start, gap_end in claimed.add(start, start + size_list[i]):
+                entry = DRTEntry(
+                    o_file=o_file,
+                    o_offset=gap_start,
+                    length=gap_end - gap_start,
+                    r_file=region.name,
+                    r_offset=region.size,
+                )
+                drt.add(entry)
+                region.size += entry.length
+                migrated += entry.length
+
+    # Phase 2 — express every request in region coordinates via the DRT.
+    by_name = {r.name: r for r in regions}
+    conc_list = concurrency.tolist()
+    burst_list = bursts.tolist() if bursts is not None else None
+    translated = drt.translate_many(o_file, off, d["size"])
+    for k, extents in enumerate(translated):
+        op = OP_NAMES[op_list[k]]
+        conc = conc_list[k]
+        burst = burst_list[k] if burst_list is not None else -1
+        pending: dict[str, RegionRequest] = {}
+        for extent in extents:
+            if not extent.mapped:
+                continue  # cannot happen here: every byte was claimed above
+            prev = pending.get(extent.file)
+            if prev is not None and prev.offset + prev.length == extent.offset:
+                pending[extent.file] = RegionRequest(
+                    offset=prev.offset,
+                    length=prev.length + extent.length,
+                    op=op,
+                    concurrency=conc,
+                    burst=burst,
+                )
+            else:
+                if prev is not None:
+                    by_name[extent.file].requests.append(prev)
+                pending[extent.file] = RegionRequest(
+                    offset=extent.offset,
+                    length=extent.length,
+                    op=op,
+                    concurrency=conc,
+                    burst=burst,
+                )
+        for name, fragment in pending.items():
+            by_name[name].requests.append(fragment)
+
     regions = [r for r in regions if r.size > 0 or r.requests]
     return ReorderPlan(o_file=o_file, regions=regions, drt=drt, migrated_bytes=migrated)

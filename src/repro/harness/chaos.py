@@ -216,6 +216,7 @@ def chaos_experiment(
     n_jobs: int | None = 1,
     label: str = "chaos",
     rank_groups: Mapping[str, Collection[int]] | None = None,
+    columnar: bool = False,
 ) -> ChaosReport:
     """Sweep fault intensity × scheme; tabulate bandwidth and tails.
 
@@ -231,6 +232,10 @@ def chaos_experiment(
     :meth:`~repro.pfs.replay.RunMetrics.group_latency_percentile`.
     Leaving it ``None`` keeps the figure set — and therefore every
     existing digest — unchanged.
+
+    ``columnar`` routes every replay through the columnar trace spine
+    (see :func:`~repro.harness.experiment.compare_schemes`); the
+    report digest is identical either way.
     """
     if not intensities:
         raise ConfigurationError("need at least one intensity")
@@ -266,6 +271,7 @@ def chaos_experiment(
             n_jobs=n_jobs,
             fault_plan=plan,
             keep_latencies=True,
+            columnar=columnar,
         )
         report.comparisons[row] = comparison
         for scheme in schemes:

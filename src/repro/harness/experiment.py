@@ -17,6 +17,7 @@ from ..cluster import ClusterSpec
 from ..core.parallel import parallel_map
 from ..pfs.replay import RunMetrics, run_workload
 from ..schemes.registry import make_scheme, scheme_names
+from ..tracing.columnar import ColumnarTrace, as_columnar_trace
 from ..tracing.record import Trace
 from ..units import MiB
 
@@ -68,8 +69,8 @@ class Comparison:
 def run_scheme(
     name: str,
     spec: ClusterSpec,
-    profile_trace: Trace,
-    replay_trace_: Trace | None = None,
+    profile_trace: "Trace | ColumnarTrace",
+    replay_trace_: "Trace | ColumnarTrace | None" = None,
     *,
     scheme_kwargs: dict | None = None,
     engine: str | None = None,
@@ -102,15 +103,23 @@ def run_scheme(
 
 def _scheme_task(
     task: tuple[
-        str, ClusterSpec, Trace, dict | None, str | None, "FaultPlan | None", bool
+        str,
+        ClusterSpec,
+        "Trace | ColumnarTrace",
+        "Trace | ColumnarTrace | None",
+        dict | None,
+        str | None,
+        "FaultPlan | None",
+        bool,
     ],
 ) -> SchemeRun:
     """Module-level (picklable) task body for the scheme fan-out."""
-    name, spec, trace, kwargs, engine, fault_plan, keep_latencies = task
+    name, spec, trace, replay, kwargs, engine, fault_plan, keep_latencies = task
     return run_scheme(
         name,
         spec,
         trace,
+        replay,
         scheme_kwargs=kwargs,
         engine=engine,
         fault_plan=fault_plan,
@@ -120,7 +129,7 @@ def _scheme_task(
 
 def compare_schemes(
     spec: ClusterSpec,
-    trace: Trace,
+    trace: "Trace | ColumnarTrace",
     schemes: tuple[str, ...] | None = None,
     *,
     label: str = "",
@@ -129,6 +138,7 @@ def compare_schemes(
     n_jobs: int | None = 1,
     fault_plan: "FaultPlan | None" = None,
     keep_latencies: bool = False,
+    columnar: bool = False,
 ) -> Comparison:
     """Run every scheme on one workload trace; returns paired results.
 
@@ -140,12 +150,24 @@ def compare_schemes(
     scheme's replay (plans are frozen dataclasses, so they pickle to
     worker processes and compile identically there); together with
     ``keep_latencies`` this is the chaos harness's paired-comparison
-    primitive.
+    primitive.  ``columnar=True`` replays every scheme through the
+    columnar spine (one record→columnar conversion shared by all
+    schemes); results are bit-identical either way.
     """
     schemes = schemes if schemes is not None else scheme_names()
     scheme_kwargs = scheme_kwargs or {}
+    replay = as_columnar_trace(trace) if columnar else None
     tasks = [
-        (name, spec, trace, scheme_kwargs.get(name), engine, fault_plan, keep_latencies)
+        (
+            name,
+            spec,
+            trace,
+            replay,
+            scheme_kwargs.get(name),
+            engine,
+            fault_plan,
+            keep_latencies,
+        )
         for name in schemes
     ]
     runs = parallel_map(

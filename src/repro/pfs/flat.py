@@ -40,9 +40,12 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 from ..contracts import twin_of
 from ..exceptions import SimulationError
 from ..layouts.batch import MergedRuns, RunsBuilder
+from ..tracing.columnar import OP_NAMES, ColumnarTrace
 from ..tracing.record import TraceRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -52,7 +55,44 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 __all__ = ["mapped_runs", "replay_flat"]
 
 
-def mapped_runs(view: "FileView", records: Sequence[TraceRecord]) -> MergedRuns:
+def _runs_from_columns(view: "FileView", trace: ColumnarTrace) -> MergedRuns:
+    """:func:`mapped_runs` over a columnar trace.
+
+    The offset/size columns flow into the view's ``merged_runs`` batch
+    API as the arrays they already are — no per-record values are
+    materialized on the single-file fast path.
+    """
+    batch = getattr(view, "merged_runs", None)
+    n = len(trace)
+    d = trace.data
+    if batch is None:
+        builder = RunsBuilder(n)
+        names = trace.interned_files
+        offs = d["offset"].tolist()
+        sizes = d["size"].tolist()
+        codes = d["file"].tolist()
+        for i in range(n):
+            builder.place_fragments(
+                i, view.map_request(names[codes[i]], offs[i], sizes[i])
+            )
+        return builder.build()
+    partition = trace.file_partition()
+    if len(partition) == 1:
+        (file,) = partition
+        runs: MergedRuns = batch(file, d["offset"], d["size"])
+        return runs
+    builder = RunsBuilder(n)
+    for file, indices in partition.items():
+        runs = batch(file, d["offset"][indices], d["size"][indices])
+        builder.add_fragments(runs.n_fragments)
+        for k, item in enumerate(indices.tolist()):
+            builder.place(item, runs, k)
+    return builder.build()
+
+
+def mapped_runs(
+    view: "FileView", records: "Sequence[TraceRecord] | ColumnarTrace"
+) -> MergedRuns:
     """Map all records through ``view`` into columnar merged runs.
 
     Views exposing a ``merged_runs(file, offsets, lengths)`` batch API
@@ -61,8 +101,11 @@ def mapped_runs(view: "FileView", records: Sequence[TraceRecord]) -> MergedRuns:
     per file; anything else falls back to per-record ``map_request``.
     Either way run ``k`` of the result equals what the event path's
     ``merge_fragments(view.map_request(...))`` produces for record
-    ``k``.
+    ``k``.  A :class:`~repro.tracing.columnar.ColumnarTrace` hands its
+    offset/size columns to the batch API without building records.
     """
+    if isinstance(records, ColumnarTrace):
+        return _runs_from_columns(view, records)
     batch = getattr(view, "merged_runs", None)
     if batch is None:
         builder = RunsBuilder(len(records))
@@ -109,7 +152,7 @@ _WAKEUP = -2
 def replay_flat(
     pfs: "HybridPFS",
     view: "FileView",
-    ordered: Sequence[TraceRecord],
+    ordered: "Sequence[TraceRecord] | ColumnarTrace",
     *,
     keep_latencies: bool = False,
     phase_of: Sequence[int] | None = None,
@@ -136,11 +179,32 @@ def replay_flat(
     sim = pfs.sim
     start = sim.now
     runs = mapped_runs(view, ordered)
-    by_rank: dict[int, list[int]] = {}
-    for i, record in enumerate(ordered):
-        by_rank.setdefault(record.rank, []).append(i)
-    ranks = sorted(by_rank)
-    rows = [by_rank[rank] for rank in ranks]
+    if isinstance(ordered, ColumnarTrace):
+        # stable argsort by rank == per-rank index rows in trace order
+        rank_col = ordered.data["rank"]
+        order = np.argsort(rank_col, kind="stable")
+        uniq, bounds = np.unique(rank_col[order], return_index=True)
+        ranks = uniq.tolist()
+        edges = np.append(bounds, order.size)
+        rows = [
+            order[edges[r] : edges[r + 1]].tolist() for r in range(uniq.size)
+        ]
+        ops = [OP_NAMES[c] for c in ordered.data["op"].tolist()]
+        arrivals = (
+            (start + ordered.data["timestamp"]).tolist() if open_arrivals else []
+        )
+    else:
+        by_rank: dict[int, list[int]] = {}
+        for i, record in enumerate(ordered):
+            by_rank.setdefault(record.rank, []).append(i)
+        ranks = sorted(by_rank)
+        rows = [by_rank[rank] for rank in ranks]
+        ops = [record.op for record in ordered]
+        arrivals = (
+            [start + record.timestamp for record in ordered]
+            if open_arrivals
+            else []
+        )
     n_ranks = len(rows)
     cursor = [0] * n_ranks
     issued_at = [start] * n_ranks
@@ -157,10 +221,6 @@ def replay_flat(
     off_col = runs.offsets
     len_col = runs.lengths
     starts_col = runs.starts
-    ops = [record.op for record in ordered]
-    arrivals = (
-        [start + record.timestamp for record in ordered] if open_arrivals else []
-    )
     use_barrier = phase_of is not None
     phases: list[int] = list(phase_of) if phase_of is not None else []
     remaining: list[int] = list(phase_sizes) if phase_sizes is not None else []

@@ -34,11 +34,14 @@ from typing import (
     runtime_checkable,
 )
 
+import numpy as np
+
 from ..cluster import ClusterSpec
 from ..config import DEFAULT_REPLAY_ENGINE
 from ..layouts.base import SubRequest
 from ..simulate import Simulator, Waitable
 from ..tracing.collector import IOCollector
+from ..tracing.columnar import ColumnarTrace
 from ..tracing.record import Trace, TraceRecord
 from .flat import replay_flat
 from .system import HybridPFS
@@ -221,7 +224,7 @@ class RunMetrics:
 
 
 def _phase_index(
-    ordered: Sequence[TraceRecord], barrier_gap: float
+    ordered: "Sequence[TraceRecord] | ColumnarTrace", barrier_gap: float
 ) -> tuple[list[int], list[int]]:
     """Bucket time-ordered records into barrier phases, by *index*.
 
@@ -230,8 +233,18 @@ def _phase_index(
     duplicated records — identical rank/offset/size/timestamp entries,
     legal in a trace — in their own phase slots.  Returns
     ``(phase_of, phase_sizes)`` with ``phase_of[i]`` the phase of
-    ``ordered[i]``.
+    ``ordered[i]``.  Columnar traces take a vectorized branch with the
+    same boundaries (``t[i] - t[i-1] > gap`` on float64 either way).
     """
+    if isinstance(ordered, ColumnarTrace):
+        times = ordered.data["timestamp"]
+        if times.size == 0:
+            return [], []
+        new_phase = np.empty(times.size, dtype=bool)
+        new_phase[0] = True
+        new_phase[1:] = times[1:] - times[:-1] > barrier_gap
+        phase_arr = np.cumsum(new_phase) - 1
+        return phase_arr.tolist(), np.bincount(phase_arr).tolist()
     phase_of: list[int] = []
     sizes: list[int] = []
     prev_t: float | None = None
@@ -340,7 +353,7 @@ def _replay_event(
 def replay_trace(
     pfs: HybridPFS,
     view: FileView,
-    trace: Trace,
+    trace: "Trace | ColumnarTrace",
     *,
     keep_latencies: bool = False,
     collector: IOCollector | None = None,
@@ -434,10 +447,15 @@ def replay_trace(
             open_arrivals=open_arrivals,
         )
     else:
+        # the event engine's hooks and dispatchers consume records, so
+        # a columnar trace materializes only on this fallback path
+        event_ordered = (
+            ordered.to_trace() if isinstance(ordered, ColumnarTrace) else ordered
+        )
         foreground_end, latencies, latency_ranks = _replay_event(
             pfs,
             view,
-            ordered,
+            event_ordered,
             keep_latencies=keep_latencies,
             collector=collector,
             on_record=on_record,
@@ -446,8 +464,12 @@ def replay_trace(
             open_arrivals=open_arrivals,
         )
 
-    read_bytes = sum(r.size for r in trace if r.op == "read")
-    write_bytes = sum(r.size for r in trace if r.op == "write")
+    if isinstance(trace, ColumnarTrace):
+        read_bytes = trace.read_bytes()
+        write_bytes = trace.write_bytes()
+    else:
+        read_bytes = sum(r.size for r in trace if r.op == "read")
+        write_bytes = sum(r.size for r in trace if r.op == "write")
     per_server_latencies: list[list[float]] = []
     if keep_latencies:
         per_server_latencies = [
@@ -471,7 +493,7 @@ def replay_trace(
 def run_workload(
     spec: ClusterSpec,
     view: FileView,
-    trace: Trace,
+    trace: "Trace | ColumnarTrace",
     *,
     keep_latencies: bool = False,
     engine: str | None = None,

@@ -51,6 +51,7 @@ from ..harness.report import (
 )
 from ..layouts.batch import MergedRuns
 from ..pfs.replay import RunMetrics, replay_trace
+from ..tracing.columnar import as_columnar_trace
 from ..pfs.system import HybridPFS
 from ..tracing.record import Trace
 from ..units import MiB
@@ -174,6 +175,7 @@ def serve_scenario(
     arrival_seed: int = DEFAULT_ARRIVAL_SEED,
     rank_stride: int = RANK_STRIDE,
     label: str = "serve",
+    columnar: bool = False,
 ) -> ServeReport:
     """Serve a tenant fleet on one shared hybrid PFS; tabulate fairness.
 
@@ -182,6 +184,8 @@ def serve_scenario(
     an explicit tuple of specs.  ``max_active`` bounds concurrently
     admitted tenants; ``n_jobs`` shards the build phase across
     processes (results are bit-identical at any job count).
+    ``columnar`` replays the merged fleet trace through the columnar
+    spine; the report digest is identical either way.
     """
     spec = spec if spec is not None else ClusterSpec()
     if isinstance(tenants, int):
@@ -216,7 +220,7 @@ def serve_scenario(
     metrics = replay_trace(
         pfs,
         view,
-        merged,
+        as_columnar_trace(merged) if columnar else merged,
         keep_latencies=True,
         open_arrivals=True,
         engine=engine,

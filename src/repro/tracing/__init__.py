@@ -10,8 +10,24 @@ from .analysis import (
     trace_statistics,
 )
 from .collector import IOCollector
+from .columnar import (
+    TRACE_DTYPE,
+    ColumnarTrace,
+    PhaseSlices,
+    as_columnar_trace,
+    burst_ids_columnar,
+    concurrency_columnar,
+    split_phases_columnar,
+)
 from .record import Trace, TraceRecord
-from .tracefile import load_trace, load_trace_dir, save_trace, save_trace_per_rank
+from .tracefile import (
+    load_trace,
+    load_trace_dir,
+    load_trace_mmap,
+    save_trace,
+    save_trace_columnar,
+    save_trace_per_rank,
+)
 
 __all__ = [
     "Trace",
@@ -28,4 +44,13 @@ __all__ = [
     "load_trace",
     "save_trace_per_rank",
     "load_trace_dir",
+    "TRACE_DTYPE",
+    "ColumnarTrace",
+    "PhaseSlices",
+    "as_columnar_trace",
+    "split_phases_columnar",
+    "concurrency_columnar",
+    "burst_ids_columnar",
+    "save_trace_columnar",
+    "load_trace_mmap",
 ]

@@ -86,12 +86,33 @@ class Trace(Sequence[TraceRecord]):
         return Trace(sorted(self._records))
 
     def sorted_by_time(self) -> "Trace":
-        """Records in issue order."""
-        return Trace(sorted(self._records, key=lambda r: (r.timestamp, r.rank)))
+        """Records in issue order.
+
+        The key is the full ``(timestamp, rank, offset, size)`` tuple so
+        the ordering is specified, not an accident of sort stability —
+        the columnar ``time_order`` argsort mirrors exactly this key.
+        """
+        return Trace(
+            sorted(
+                self._records,
+                key=lambda r: (r.timestamp, r.rank, r.offset, r.size),
+            )
+        )
 
     def for_file(self, file: str) -> "Trace":
         """Only the records touching ``file``."""
         return Trace(r for r in self._records if r.file == file)
+
+    def partition_by_file(self) -> dict[str, "Trace"]:
+        """One-pass file → sub-trace partition, first-appearance key order.
+
+        Equivalent to ``{f: trace.for_file(f) for f in trace.files()}``
+        but a single scan instead of O(files × records).
+        """
+        groups: dict[str, list[TraceRecord]] = {}
+        for r in self._records:
+            groups.setdefault(r.file, []).append(r)
+        return {file: Trace(recs) for file, recs in groups.items()}
 
     def files(self) -> tuple[str, ...]:
         """Distinct file names, in first-appearance order."""

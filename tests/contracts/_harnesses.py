@@ -43,11 +43,27 @@ from repro.layouts.extents import (
     per_server_bytes_batch,
     per_server_bytes_grid,
 )
+from repro.core.features import extract_features, extract_features_columnar
+from repro.core.pipeline import MHAPipeline
 from repro.pfs import HybridPFS, replay_trace
 from repro.pfs.server import DataServer
 from repro.schemes.base import LayoutView
 from repro.simulate import FIFOResource, Simulator
-from repro.tracing import Trace, TraceRecord
+from repro.tracing import (
+    ColumnarTrace,
+    Trace,
+    TraceRecord,
+    burst_ids_columnar,
+    burst_ids_of,
+    concurrency_columnar,
+    concurrency_of,
+    load_trace,
+    load_trace_mmap,
+    save_trace,
+    save_trace_columnar,
+    split_phases,
+    split_phases_columnar,
+)
 from repro.units import KiB
 
 HARNESSES = {}
@@ -220,6 +236,172 @@ def _candidate_grid(rng, G=16):
     h = rng.integers(0, 64, G) * 4096
     s = np.maximum(rng.integers(1, 64, G) * 4096, h)
     return h, s
+
+
+# ------------------------------------------------------------- columnar trace
+
+# raw columnar-trace rows: timestamps drawn from a tie-heavy menu so
+# phase/burst boundaries are exercised, plus an explicit duplicate flag
+# — duplicated records are where the reference's dict-keyed results
+# collapse, the exact semantics the columnar twins must reproduce
+_columnar_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=64),  # offset in 16 KiB units
+        st.integers(min_value=1, max_value=12),  # size in 16 KiB units
+        st.sampled_from([0.0, 0.25, 0.3, 1.0, 1.05, 5.0]),  # timestamp
+        st.integers(min_value=0, max_value=4),  # rank
+        st.sampled_from(["read", "write"]),
+        st.booleans(),  # emit the record twice?
+    ),
+    min_size=0,
+    max_size=16,
+)
+
+_gaps = st.sampled_from([0.3, 0.5, 2.0])
+_spatials = st.sampled_from([False, True, 4 * 16 * KiB])
+
+
+def _columnar_pair(raw, files=("f",)):
+    """A record trace (with duplicates) and its columnar twin."""
+    records = []
+    for i, (off, size, ts, rank, op, dup) in enumerate(raw):
+        record = TraceRecord(
+            offset=off * 16 * KiB,
+            timestamp=ts,
+            rank=rank,
+            size=size * 16 * KiB,
+            op=op,
+            file=files[i % len(files)],
+        )
+        records.append(record)
+        if dup:
+            records.append(record)
+    trace = Trace(records)
+    return trace, ColumnarTrace.from_trace(trace)
+
+
+@harness("trace_phases")
+def _trace_phases(contract):
+    @given(raw=_columnar_rows, gap=_gaps)
+    @settings(max_examples=40, deadline=None)
+    def test(raw, gap):
+        trace, col = _columnar_pair(raw)
+        want = split_phases(trace, gap=gap)
+        slices = split_phases_columnar(col, gap=gap)
+        assert slices.n_phases == len(want)
+        for p, phase in enumerate(want):
+            got = [col.record(i) for i in slices.indices(p).tolist()]
+            assert got == list(phase.records)
+            assert slices.start_time(p) == phase.start_time
+            assert slices.end_time(p) == phase.end_time
+
+    return test
+
+
+@harness("trace_concurrency")
+def _trace_concurrency(contract):
+    @given(raw=_columnar_rows, gap=_gaps, spatial=_spatials)
+    @settings(max_examples=40, deadline=None)
+    def test(raw, gap, spatial):
+        trace, col = _columnar_pair(raw)
+        want = concurrency_of(trace, gap=gap, spatial=spatial)
+        got = concurrency_columnar(col, gap=gap, spatial=spatial)
+        assert got.shape == (len(trace),)
+        for i, record in enumerate(trace):
+            assert got[i] == want[record]
+
+    return test
+
+
+@harness("trace_bursts")
+def _trace_bursts(contract):
+    @given(raw=_columnar_rows, gap=_gaps, spatial=_spatials)
+    @settings(max_examples=40, deadline=None)
+    def test(raw, gap, spatial):
+        trace, col = _columnar_pair(raw)
+        want = burst_ids_of(trace, gap=gap, spatial=spatial)
+        got = burst_ids_columnar(col, gap=gap, spatial=spatial)
+        assert got.shape == (len(trace),)
+        for i, record in enumerate(trace):
+            assert got[i] == want[record]
+
+    return test
+
+
+@harness("features_columnar")
+def _features_columnar(contract):
+    @given(raw=_columnar_rows, gap=_gaps, spatial=_spatials)
+    @settings(max_examples=40, deadline=None)
+    def test(raw, gap, spatial):
+        trace, col = _columnar_pair(raw)
+        want = extract_features(trace, gap=gap, spatial=spatial)
+        got = extract_features_columnar(col, gap=gap, spatial=spatial)
+        # bitwise float equality, not allclose: twins reorganize the
+        # same integer-valued assignments
+        assert got.points.tobytes() == want.points.tobytes()
+        assert got.spread.tobytes() == want.spread.tobytes()
+
+    return test
+
+
+@harness("plan_file_columnar")
+def _plan_file_columnar(contract):
+    @given(raw=_columnar_rows, gap=_gaps, spatial=_spatials, k=st.sampled_from([None, 1, 3]))
+    @settings(max_examples=20, deadline=None)
+    def test(raw, gap, spatial, k):
+        trace, _ = _columnar_pair(raw)
+        sub = trace.for_file("f").sorted_by_offset()
+        col = ColumnarTrace.from_trace(sub)
+        spec = ClusterSpec(num_hservers=2, num_sservers=2)
+        pipe = MHAPipeline(spec, gap=gap, spatial=spatial, k=k, n_jobs=1)
+        drt_ref, drt_twin = DRT(), DRT()
+        ref_plan, ref_grouping, ref_names, ref_tasks = pipe.plan_file(
+            "f", sub, drt_ref
+        )
+        twin_plan, twin_grouping, twin_names, twin_tasks = pipe.plan_file_columnar(
+            "f", col, drt_twin
+        )
+        assert twin_names == ref_names
+        assert np.array_equal(twin_grouping.labels, ref_grouping.labels)
+        assert twin_plan.migrated_bytes == ref_plan.migrated_bytes
+        assert list(drt_twin) == list(drt_ref)
+        assert (drt_twin.cache_hits, drt_twin.cache_misses) == (
+            drt_ref.cache_hits,
+            drt_ref.cache_misses,
+        )
+        for twin_region, ref_region in zip(twin_plan.regions, ref_plan.regions):
+            assert twin_region.name == ref_region.name
+            assert twin_region.size == ref_region.size
+            assert twin_region.requests == ref_region.requests
+        for twin_task, ref_task in zip(twin_tasks, ref_tasks):
+            for twin_col, ref_col in zip(twin_task, ref_task):
+                if isinstance(twin_col, np.ndarray):
+                    assert twin_col.tobytes() == ref_col.tobytes()
+                else:
+                    assert twin_col == ref_col
+
+    return test
+
+
+@harness("trace_roundtrip")
+def _trace_roundtrip(contract):
+    @given(raw=_columnar_rows, multi=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test(raw, multi, tmp_path_factory):
+        trace, col = _columnar_pair(raw, files=("f", "g") if multi else ("f",))
+        directory = tmp_path_factory.mktemp("roundtrip")
+        text = directory / "trace.csv"
+        binary = directory / "trace.bin"
+        save_trace(trace, text)
+        save_trace_columnar(col, binary)
+        back = load_trace_mmap(binary)
+        assert list(back.to_trace()) == list(load_trace(text)) == list(trace)
+        assert back == col
+        # the binary format also round-trips a record-trace input
+        save_trace_columnar(trace, binary)
+        assert list(load_trace_mmap(binary).to_trace()) == list(trace)
+
+    return test
 
 
 # ---------------------------------------------------------------- replay

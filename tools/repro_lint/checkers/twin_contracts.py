@@ -38,7 +38,7 @@ from ..diagnostics import Diagnostic
 from ..registry import ProjectChecker, register
 
 #: naming conventions that mark a function as a fast path (RL103)
-_TWIN_SUFFIXES = ("_flat", "_grid", "_many")
+_TWIN_SUFFIXES = ("_columnar", "_flat", "_grid", "_many")
 _TWIN_PREFIXES = ("batch_",)
 
 #: must mirror ``repro.contracts.TWIN_KINDS`` (asserted by the test suite)
