@@ -1,0 +1,128 @@
+"""Effect contracts: declared side-effect budgets for boundary functions.
+
+The RL3xx rule family of ``tools/repro_lint`` *infers* a side-effect
+summary for every function in ``src/`` by propagating a small effect
+lattice over the interprocedural call graph (see
+``tools/repro_lint/callgraph.py``).  Inference is sound-by-default:
+a call the analyzer cannot resolve leaves the caller *unproven*, and
+the purity rules (RL301–RL303) refuse to certify an unproven function.
+
+:func:`effects` is the sanctioned escape hatch, mirroring the
+:func:`repro.contracts.twin_of` pattern: a metadata-only decorator that
+*pins* a function's effect contract.  A declared function becomes a
+trust boundary — callers see exactly the declared set, no more and no
+less — and the declaration itself is policed both ways by RL304
+(an inferred effect missing from the declaration is a contract
+violation; a declared effect the analyzer can positively rule out is a
+stale declaration).
+
+The vocabulary is the analyzer's lattice, ``PURE`` at the bottom::
+
+                      {all seven effects}
+            /      |      |      |      |      \\
+    READS_CONFIG READS_ENV RNG TIME MUTATES_ARG MUTATES_GLOBAL IO
+            \\      |      |      |      |      /
+                          PURE  (= frozenset())
+
+* ``READS_CONFIG``   — reads a ``repro.config`` value (deterministic,
+  but an ambient input Eq. 2 purity tolerates and twins must mirror);
+* ``READS_ENV``      — reads ``os.environ`` / ``os.getenv``;
+* ``RNG``            — draws randomness outside the
+  :mod:`repro.determinism` seed-lineage registry;
+* ``TIME``           — reads a wall clock;
+* ``MUTATES_ARG``    — writes into an argument object (``self``/``cls``
+  excepted: controllers may keep internal state);
+* ``MUTATES_GLOBAL`` — writes module-level state;
+* ``IO``             — filesystem/stream/process/socket side effects
+  (function-level imports count: first call differs from the rest).
+
+The decorator is zero-cost at call time: it validates the names,
+records the contract in the module registry and on the function as
+``__effect_contract__``, and returns the function unchanged — so
+pickling by reference, ``inspect`` signatures, and the mypy ratchet
+all see the original function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, TypeVar
+
+__all__ = [
+    "EFFECT_NAMES",
+    "EffectContract",
+    "effects",
+    "get_declared",
+    "iter_declared",
+]
+
+F = TypeVar("F", bound=Callable[..., object])
+
+#: the full effect vocabulary, in canonical (report) order
+EFFECT_NAMES: tuple[str, ...] = (
+    "READS_CONFIG",
+    "READS_ENV",
+    "RNG",
+    "TIME",
+    "MUTATES_ARG",
+    "MUTATES_GLOBAL",
+    "IO",
+)
+
+
+class EffectContract:
+    """One pinned effect budget: a spec plus its declared effect set."""
+
+    __slots__ = ("spec", "declared")
+
+    def __init__(self, spec: str, declared: frozenset[str]) -> None:
+        self.spec = spec
+        self.declared = declared
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self.declared)) or "PURE"
+        return f"EffectContract({self.spec}: {names})"
+
+
+_REGISTRY: dict[str, EffectContract] = {}
+
+
+def effects(*names: str) -> Callable[[F], F]:
+    """Declare the decorated function's effect contract.
+
+    ``@effects()`` with no arguments declares the function pure;
+    ``@effects("READS_CONFIG", "IO")`` caps it at exactly those
+    effects.  Names must come from :data:`EFFECT_NAMES` — anything
+    else raises immediately at import time, so a typo cannot silently
+    widen a contract.  The declaration is metadata only; the function
+    is returned unchanged.
+    """
+    declared = frozenset(names)
+    unknown = declared - set(EFFECT_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown effect name(s) {sorted(unknown)}; "
+            f"choose from {EFFECT_NAMES}"
+        )
+
+    def decorate(fn: F) -> F:
+        spec = f"{fn.__module__}:{fn.__qualname__}"
+        contract = EffectContract(spec, declared)
+        existing = _REGISTRY.get(spec)
+        if existing is not None and existing.declared != declared:
+            raise ValueError(f"conflicting effect contract for {spec}")
+        _REGISTRY[spec] = contract
+        setattr(fn, "__effect_contract__", contract)
+        return fn
+
+    return decorate
+
+
+def get_declared(spec: str) -> frozenset[str]:
+    """The declared effect set for ``spec`` (KeyError if undeclared)."""
+    return _REGISTRY[spec].declared
+
+
+def iter_declared() -> Iterator[EffectContract]:
+    """All registered contracts, ordered by spec (deterministic)."""
+    for spec in sorted(_REGISTRY):
+        yield _REGISTRY[spec]

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from ..cluster import ClusterSpec
 from ..core.parallel import parallel_map
+from ..effects import effects
 from ..pfs.replay import RunMetrics, run_workload
 from ..schemes.registry import make_scheme, scheme_names
 from ..tracing.columnar import ColumnarTrace, as_columnar_trace
@@ -101,6 +102,7 @@ def run_scheme(
     return SchemeRun(scheme=name, metrics=metrics)
 
 
+@effects("READS_CONFIG", "IO")
 def _scheme_task(
     task: tuple[
         str,

@@ -21,6 +21,7 @@ from ..core.pipeline import identity_redirector
 from ..devices.base import READ, WRITE
 from ..schemes.base import LayoutView
 from ..schemes.registry import scheme_names
+from ..tracing.columnar import ColumnarTrace
 from ..tracing.record import Trace
 from ..units import KiB, MiB
 from ..workloads.btio import BTIOWorkload
@@ -89,7 +90,7 @@ def fig07_ior_mixed_sizes(
             seed=seed,
         )
         for op in (READ, WRITE):
-            trace = workload.trace(op)
+            trace = workload.columnar(op)
             comparison = compare_schemes(
                 spec, trace, schemes, engine=engine, n_jobs=n_jobs
             )
@@ -121,7 +122,7 @@ def fig08_server_io_time(
         total_size=total_mib * MiB,
         seed=seed,
     )
-    trace = workload.trace(op)
+    trace = workload.columnar(op)
     comparison = compare_schemes(
         spec, trace, schemes, engine=engine, n_jobs=n_jobs
     )
@@ -168,7 +169,7 @@ def fig09_ior_mixed_procs(
             bytes_per_group=group_mib * MiB,
         )
         for op in (READ, WRITE):
-            trace = workload.trace(op)
+            trace = workload.columnar(op)
             comparison = compare_schemes(
                 spec, trace, schemes, engine=engine, n_jobs=n_jobs
             )
@@ -206,7 +207,7 @@ def fig10_server_ratios(
     for m, n in ratios:
         spec = base_spec.with_ratio(m, n)
         for op in (READ, WRITE):
-            trace = workload.trace(op)
+            trace = workload.columnar(op)
             comparison = compare_schemes(
                 spec, trace, schemes, engine=engine, n_jobs=n_jobs
             )
@@ -240,7 +241,7 @@ def fig11_hpio(
             region_count=region_count,
             region_sizes=[k * KiB for k in region_kibs],
         )
-        trace = workload.trace(op)
+        trace = workload.columnar(op)
         comparison = compare_schemes(
             spec, trace, schemes, engine=engine, n_jobs=n_jobs
         )
@@ -266,7 +267,7 @@ def fig12a_btio(
     result = FigureResult(figure="Fig 12a", title="BTIO, class B+C interleaved")
     for procs in proc_counts:
         workload = BTIOWorkload(num_processes=procs, steps=steps, scale=scale)
-        trace = workload.trace(WRITE)
+        trace = workload.columnar(WRITE)
         comparison = compare_schemes(
             spec, trace, schemes, engine=engine, n_jobs=n_jobs
         )
@@ -279,7 +280,7 @@ def fig12a_btio(
 def _trace_figure(
     figure: str,
     title: str,
-    trace: Trace,
+    trace: "Trace | ColumnarTrace",
     spec: ClusterSpec,
     schemes: Sequence[str],
     engine: str | None = None,
@@ -306,7 +307,7 @@ def fig12b_lanl(
     """LANL anonymous-application trace replay."""
     spec = spec or ClusterSpec()
     schemes = tuple(schemes or scheme_names())
-    trace = LANLWorkload(num_processes=num_processes, loops=loops).trace(WRITE)
+    trace = LANLWorkload(num_processes=num_processes, loops=loops).columnar(WRITE)
     return _trace_figure(
         "Fig 12b", "LANL trace replay", trace, spec, schemes, engine=engine, n_jobs=n_jobs
     )
@@ -324,7 +325,7 @@ def fig13a_lu(
     """Out-of-core LU decomposition trace replay (8 per-process files)."""
     spec = spec or ClusterSpec()
     schemes = tuple(schemes or scheme_names())
-    trace = LUWorkload(num_processes=num_processes, slabs=slabs).trace()
+    trace = LUWorkload(num_processes=num_processes, slabs=slabs).columnar()
     return _trace_figure(
         "Fig 13a", "LU trace replay", trace, spec, schemes, engine=engine, n_jobs=n_jobs
     )
@@ -345,7 +346,7 @@ def fig13b_cholesky(
     schemes = tuple(schemes or scheme_names())
     trace = CholeskyWorkload(
         num_processes=num_processes, panels=panels, seed=seed
-    ).trace()
+    ).columnar()
     return _trace_figure(
         "Fig 13b", "Cholesky trace replay", trace, spec, schemes, engine=engine, n_jobs=n_jobs
     )

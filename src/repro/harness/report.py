@@ -7,6 +7,8 @@ Each figure function in :mod:`repro.harness.figures` returns a
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass, field
 
 from ..units import MiB
@@ -113,9 +115,6 @@ def to_csv(result: FigureResult) -> str:
     figure's display order.  Values use full float precision so a
     re-plot reproduces the stored run exactly.
     """
-    import csv
-    import io
-
     buf = io.StringIO()
     writer = csv.writer(buf)
     writer.writerow(["label", *result.series])
@@ -134,9 +133,6 @@ def to_csv(result: FigureResult) -> str:
 
 def from_csv(text: str, figure: str = "csv", title: str = "") -> FigureResult:
     """Rebuild a :class:`FigureResult` from :func:`to_csv` output."""
-    import csv
-    import io
-
     reader = csv.reader(io.StringIO(text))
     header = next(reader)
     if not header or header[0] != "label":

@@ -13,6 +13,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..cluster import ClusterSpec
 from ..core.parallel import parallel_map
+from ..effects import effects
 from ..schemes.registry import scheme_names
 from ..tracing.record import Trace
 from .experiment import SchemeRun, run_scheme
@@ -32,6 +33,7 @@ class SweepPoint:
         self.trace = trace
 
 
+@effects("READS_CONFIG", "IO")
 def _sweep_cell(
     task: tuple[str, ClusterSpec, Trace, str, dict | None, str | None],
 ) -> SchemeRun:

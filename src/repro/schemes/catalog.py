@@ -1,0 +1,43 @@
+"""Leaf scheme catalog: the name → factory table behind ``make_scheme``.
+
+This module sits *below* every scheme module in the import graph so
+that schemes which compose other schemes by name (notably
+``StragglerAwareScheme``, whose ``build`` instantiates its base via
+``make_scheme``) can import :func:`make_scheme` at module top level —
+no function-level import, no ``registry ↔ straggler`` cycle.  The
+table itself is populated by :mod:`repro.schemes.registry` when the
+package is imported (the package ``__init__`` imports the registry, so
+any ``repro.schemes.*`` import sees a full catalogue).
+
+``make_scheme`` dispatches through the table, which the effect
+analyzer cannot resolve statically; its :func:`repro.effects.effects`
+declaration pins the contract instead: scheme constructors only bind
+parameters (and may read ``repro.config`` defaults) — anything louder
+in a new scheme's ``__init__`` is a bug, and the declaration is what
+makes RL302 hold for every task that builds schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..effects import effects
+from ..exceptions import ConfigurationError
+from .base import Scheme
+
+__all__ = ["SCHEMES", "make_scheme"]
+
+#: name → factory, populated by :mod:`repro.schemes.registry`
+SCHEMES: dict[str, Callable[..., Scheme]] = {}
+
+
+@effects("READS_CONFIG")
+def make_scheme(name: str, **kwargs) -> Scheme:
+    """Instantiate a scheme by name (case-insensitive)."""
+    try:
+        factory = SCHEMES[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
+        ) from None
+    return factory(**kwargs)

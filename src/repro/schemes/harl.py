@@ -27,6 +27,7 @@ from ..core.parallel import parallel_map
 from ..core.params import CostModelParams
 from ..core.rst import StripePair
 from ..layouts.base import Layout
+from ..layouts.fixed import FixedStripeLayout
 from ..layouts.region import Region, RegionLayout
 from ..layouts.varied import VariedStripeLayout
 from ..tracing.analysis import burst_ids_of, concurrency_of
@@ -184,7 +185,5 @@ class HARLScheme(Scheme):
                     self.decisions[obj] = StripePair(layout.h, layout.s)
                 regions.append(Region(start=start, end=end, layout=layout))
             layouts[file] = RegionLayout(regions, obj=file)
-        from ..layouts.fixed import FixedStripeLayout
-
         default = FixedStripeLayout(spec.server_ids, DEFAULT_STRIPE, obj="file")
         return LayoutView(layouts, default=default)

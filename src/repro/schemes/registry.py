@@ -5,10 +5,10 @@ from __future__ import annotations
 from typing import Callable
 
 from ..cluster import ClusterSpec
-from ..exceptions import ConfigurationError
 from ..tracing.record import Trace
 from .aal import AALScheme
 from .base import Scheme
+from .catalog import SCHEMES, make_scheme
 from .default import DEFScheme
 from .harl import HARLScheme
 from .mha import MHAScheme
@@ -22,31 +22,24 @@ def _mha_saw(**kwargs) -> StragglerAwareScheme:
     return StragglerAwareScheme(base="MHA", **kwargs)
 
 
-SCHEMES: dict[str, Callable[..., Scheme]] = {
-    "DEF": DEFScheme,
-    "AAL": AALScheme,
-    "HARL": HARLScheme,
-    "MHA": MHAScheme,
-    "SAW": StragglerAwareScheme,
-    "STRAGGLER": StragglerAwareScheme,
-    "MHA+SAW": _mha_saw,
-}
+# the catalog dict lives in the leaf module; fill it here, where every
+# scheme class is importable without cycles
+SCHEMES.update(
+    {
+        "DEF": DEFScheme,
+        "AAL": AALScheme,
+        "HARL": HARLScheme,
+        "MHA": MHAScheme,
+        "SAW": StragglerAwareScheme,
+        "STRAGGLER": StragglerAwareScheme,
+        "MHA+SAW": _mha_saw,
+    }
+)
 
 
 def scheme_names() -> tuple[str, ...]:
     """The comparison order used throughout the paper's figures."""
     return ("DEF", "AAL", "HARL", "MHA")
-
-
-def make_scheme(name: str, **kwargs) -> Scheme:
-    """Instantiate a scheme by name (case-insensitive)."""
-    try:
-        factory = SCHEMES[name.upper()]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
-        ) from None
-    return factory(**kwargs)
 
 
 def build_view(name: str, spec: ClusterSpec, trace: Trace, **kwargs):

@@ -40,6 +40,7 @@ from ..layouts.base import SubRequest
 from ..layouts.batch import merge_fragments
 from ..tracing.record import Trace
 from .base import Scheme
+from .catalog import make_scheme
 
 __all__ = [
     "DEFAULT_EWMA_ALPHA",
@@ -355,8 +356,6 @@ class StragglerAwareScheme(Scheme):
             self.name = f"{upper}+SAW"
 
     def build(self, spec: ClusterSpec, trace: Trace) -> StragglerAwareView:
-        from .registry import make_scheme  # lazy: registry imports this module
-
         inner = make_scheme(self.base, **self.base_kwargs).build(spec, trace)
         budget = int(self.replication_fraction * trace.total_bytes())
         return StragglerAwareView(

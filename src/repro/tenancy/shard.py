@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from ..cluster import ClusterSpec
 from ..config import DEFAULT_ARRIVAL_SEED
 from ..core.parallel import parallel_map
+from ..effects import effects
 from ..layouts.batch import MergedRuns
 from ..schemes.registry import make_scheme
 from ..tracing.record import Trace, TraceRecord
@@ -110,6 +111,7 @@ def _premap(
     return runs_by_file, requests_by_file, rst_entries, ssd_bytes
 
 
+@effects("READS_CONFIG", "IO")
 def build_tenant(task: TenantBuildTask) -> TenantBuild:
     """One tenant's full shard pipeline (module-level: picklable)."""
     tenant = task.tenant

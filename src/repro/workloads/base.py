@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..devices.base import OpType
+from ..tracing.columnar import ColumnarTrace, as_columnar_trace
 from ..tracing.record import Trace, TraceRecord
 
 __all__ = ["TraceBuilder", "PHASE_GAP", "Workload"]
@@ -82,6 +83,21 @@ class Workload:
 
     def trace(self, op: OpType = "write") -> Trace:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def columnar(self, *args: "OpType | None") -> ColumnarTrace:
+        """This workload's trace on the columnar spine.
+
+        Generators with a vectorized fast path override this to build
+        the structured array directly via
+        :meth:`~repro.tracing.columnar.ColumnarTrace.from_columns`;
+        the default converts the record trace, so every workload can
+        feed the columnar figure path.  Either way the result equals
+        ``as_columnar_trace(self.trace(*args))`` record for record —
+        arguments pass through untouched so each generator's own
+        ``trace`` defaults (``"write"`` for most, ``None`` = full mixed
+        trace for checkpoint/LU-style workloads) keep applying.
+        """
+        return as_columnar_trace(self.trace(*args))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..determinism import SeedDomain, derive_rng
 from ..devices.base import OpType
 from ..exceptions import ConfigurationError
+from ..tracing.columnar import ColumnarTrace
 from ..tracing.record import Trace
 from ..units import KiB, MiB
-from .base import TraceBuilder, Workload
+from .base import PHASE_GAP, _RANK_STAGGER, TraceBuilder, Workload
 
 __all__ = ["IORWorkload", "IORMixedProcsWorkload"]
 
@@ -110,6 +113,28 @@ class IORWorkload(Workload):
             builder.next_phase()
         return builder.build()
 
+    def columnar(self, op: OpType = "write") -> ColumnarTrace:
+        """Columnar-native :meth:`trace`: same requests, no records.
+
+        The slot plan (including the seeded shuffle) is shared with the
+        record path, so the two emit identical request streams; only
+        the materialization differs.
+        """
+        slots = np.asarray(self._plan_requests(), dtype=np.int64)
+        idx = np.arange(len(slots))
+        ranks = idx % self.num_processes
+        phases = idx // self.num_processes
+        timestamps = phases * PHASE_GAP + ranks * _RANK_STAGGER
+        return ColumnarTrace.from_columns(
+            offsets=slots[:, 0],
+            timestamps=timestamps,
+            ranks=ranks,
+            sizes=slots[:, 1],
+            ops=op,
+            files=self.file,
+            pids=ranks,
+        )
+
     def label(self) -> str:
         """The paper's "x+y" figure label for this configuration."""
         return "+".join(str(s // KiB) for s in self.request_sizes)
@@ -156,6 +181,37 @@ class IORMixedProcsWorkload(Workload):
             rank_base += procs
             builder._phase = max(builder._phase, phase)
         return builder.build()
+
+    def columnar(self, op: OpType = "write") -> ColumnarTrace:
+        """Columnar-native :meth:`trace` over every process group."""
+        size = self.request_size
+        per_group = (self.bytes_per_group // size) * size
+        count = per_group // size
+        offset_parts: list[np.ndarray] = []
+        rank_parts: list[np.ndarray] = []
+        phase_parts: list[np.ndarray] = []
+        segment_base = 0
+        rank_base = 0
+        for procs in self.process_groups:
+            i = np.arange(count)
+            offset_parts.append(segment_base + i * size)
+            rank_parts.append(rank_base + i % procs)
+            phase_parts.append(i // procs)
+            segment_base += per_group
+            rank_base += procs
+        offsets = np.concatenate(offset_parts)
+        ranks = np.concatenate(rank_parts)
+        phases = np.concatenate(phase_parts)
+        timestamps = phases * PHASE_GAP + ranks * _RANK_STAGGER
+        return ColumnarTrace.from_columns(
+            offsets=offsets,
+            timestamps=timestamps,
+            ranks=ranks,
+            sizes=np.full(offsets.size, size, dtype=np.int64),
+            ops=op,
+            files=self.file,
+            pids=ranks,
+        )
 
     def label(self) -> str:
         """The paper's "a+b" process-count label."""

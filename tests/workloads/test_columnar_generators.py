@@ -1,0 +1,111 @@
+"""Bit-identity of the columnar-native workload generators.
+
+Every ``Workload.columnar`` override must emit exactly the trace the
+record path emits — same offsets, sizes, ranks, phases-as-timestamps,
+op codes, files and pids — so the harness figure path can feed
+``ColumnarTrace`` straight into ``compare_schemes`` without changing a
+single digest.  ``ColumnarTrace.__eq__`` compares semantically
+(interning-independent), which is precisely the contract asserted here.
+"""
+
+import pytest
+
+from repro.tracing.columnar import ColumnarTrace, as_columnar_trace
+from repro.units import KiB, MiB
+from repro.workloads import (
+    CheckpointWorkload,
+    IORMixedProcsWorkload,
+    IORWorkload,
+    LUWorkload,
+)
+
+
+def assert_identical(workload, *trace_args):
+    native = workload.columnar(*trace_args)
+    reference = as_columnar_trace(workload.trace(*trace_args))
+    assert isinstance(native, ColumnarTrace)
+    assert native == reference
+    # field-level check too, so a future __eq__ loosening can't mask drift
+    for got, want in zip(native, reference):
+        assert got == want
+
+
+class TestIORColumnar:
+    @pytest.mark.parametrize("op", ["read", "write"])
+    @pytest.mark.parametrize("randomize", [True, False])
+    def test_mixed_sizes(self, op, randomize):
+        assert_identical(
+            IORWorkload(
+                num_processes=7,
+                request_sizes=[4 * KiB, 64 * KiB],
+                total_size=1 * MiB,
+                randomize_offsets=randomize,
+                seed=3,
+            ),
+            op,
+        )
+
+    def test_uniform(self):
+        assert_identical(
+            IORWorkload(
+                num_processes=4, request_sizes=8 * KiB, total_size=512 * KiB
+            ),
+            "write",
+        )
+
+    def test_shuffle_respects_seed(self):
+        a = IORWorkload(total_size=1 * MiB, seed=1).columnar("write")
+        b = IORWorkload(total_size=1 * MiB, seed=1).columnar("write")
+        c = IORWorkload(total_size=1 * MiB, seed=2).columnar("write")
+        assert a == b
+        assert a != c
+
+
+class TestIORMixedProcsColumnar:
+    @pytest.mark.parametrize("op", ["read", "write"])
+    def test_two_groups(self, op):
+        assert_identical(
+            IORMixedProcsWorkload(
+                process_groups=(3, 5),
+                request_size=16 * KiB,
+                bytes_per_group=512 * KiB,
+            ),
+            op,
+        )
+
+    def test_single_group(self):
+        assert_identical(
+            IORMixedProcsWorkload(
+                process_groups=(4,),
+                request_size=64 * KiB,
+                bytes_per_group=1 * MiB,
+            ),
+            "write",
+        )
+
+
+class TestCheckpointColumnar:
+    @pytest.mark.parametrize("op", [None, "read", "write"])
+    @pytest.mark.parametrize("restart", [True, False])
+    def test_all_op_filters(self, op, restart):
+        workload = CheckpointWorkload(
+            num_processes=3, checkpoints=4, restart=restart
+        )
+        if op is None:
+            assert_identical(workload)
+        else:
+            assert_identical(workload, op)
+
+    def test_read_filter_without_restart_is_empty(self):
+        trace = CheckpointWorkload(restart=False).columnar("read")
+        assert len(trace) == 0
+        assert trace == as_columnar_trace(
+            CheckpointWorkload(restart=False).trace("read")
+        )
+
+
+class TestFallbackColumnar:
+    def test_base_fallback_round_trips(self):
+        # LUWorkload has no native override: the Workload.columnar
+        # fallback must still hand back the converted record trace.
+        assert_identical(LUWorkload(num_processes=4, slabs=6))

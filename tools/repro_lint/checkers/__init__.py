@@ -5,6 +5,7 @@ means writing a module here and importing it below.
 """
 
 from . import determinism  # noqa: F401
+from . import effects  # noqa: F401
 from . import float_equality  # noqa: F401
 from . import ordering  # noqa: F401
 from . import parallel_safety  # noqa: F401

@@ -3,6 +3,8 @@
 Subcommand ``gen-twin-tests`` renders the differential twin suites
 (see :mod:`tools.repro_lint.gen_twin_tests`); ``sanitize-report`` diffs
 two runtime seed-lineage ledgers (see :mod:`tools.repro_lint.sanitize`);
+``effects <module:qualname>`` prints the inferred effect summary and
+per-effect witness call chains (see :mod:`tools.repro_lint.callgraph`);
 everything else lints.
 
 Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage error.
@@ -57,6 +59,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _effects_main(argv: Sequence[str]) -> int:
+    """``effects <module:qualname>`` — explain one function's summary."""
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print(
+            "usage: python -m tools.repro_lint effects <module:qualname>",
+            file=sys.stderr,
+        )
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    spec = argv[0]
+    if ":" not in spec:
+        print(
+            f"repro-lint: {spec!r} is not a module:qualname spec",
+            file=sys.stderr,
+        )
+        return 2
+    from .callgraph import graph_for_spec
+
+    graph, error = graph_for_spec(spec)
+    if error is not None:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+    if graph.node(spec) is None:
+        module = spec.partition(":")[0]
+        print(
+            f"repro-lint: no function {spec!r} (module {module} parsed "
+            f"fine; check the qualname)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        print(graph.explain(spec))
+    except BrokenPipeError:  # piped into head/less that exited early
+        sys.stderr.close()  # suppress the interpreter's flush warning
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -68,13 +106,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .sanitize import main as sanitize_main
 
         return sanitize_main(argv[1:])
+    if argv and argv[0] == "effects":
+        return _effects_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for checker in all_checkers():
-            print(f"{checker.rule}  {checker.name}: {checker.description}")
+            module = type(checker).__module__.rpartition(".")[2]
+            print(
+                f"{checker.rule}  {checker.name}  [checkers.{module}]: "
+                f"{checker.description}"
+            )
         return 0
 
     paths = list(args.paths) or ["src", "tests"]
